@@ -1,0 +1,48 @@
+# LSBench — build / test / reproduce targets.
+
+GO ?= go
+
+.PHONY: all build test race cover bench figures examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+# One bench target per paper artifact; -benchtime=1x regenerates every
+# series once (the figure experiments are full runs per iteration).
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+
+# Regenerate every figure, lesson ablation, and extension experiment.
+figures:
+	$(GO) run ./cmd/figures
+
+figures-full:
+	$(GO) run ./cmd/figures -scale full
+
+figures-csv:
+	$(GO) run ./cmd/figures -csv out/
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/driftstorm
+	$(GO) run ./examples/optimizersla
+	$(GO) run ./examples/tuningcost
+	$(GO) run ./examples/holdout
+	$(GO) run ./examples/synthesize
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt
+	rm -rf out/

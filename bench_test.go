@@ -1,0 +1,420 @@
+package lsbench
+
+// This file is the benchmark harness required by DESIGN.md: one testing.B
+// target per paper artifact (Figure 1a-1d and the four Lessons), each
+// regenerating the corresponding data series and reporting the headline
+// numbers as benchmark metrics, plus micro-benchmarks that calibrate the
+// virtual-time cost model against real hardware.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The figure benches execute the full experiment once per iteration on
+// the deterministic virtual clock, so -benchtime=1x is enough to
+// regenerate the series; ReportMetric exposes the paper's single-value
+// metrics (area scores, adjustment speed, cost to outperform).
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/distgen"
+	"repro/internal/figures"
+	"repro/internal/index/alex"
+	"repro/internal/index/btree"
+	"repro/internal/index/rmi"
+	"repro/internal/learnedsort"
+	"repro/internal/quality"
+	"repro/internal/similarity"
+	"repro/internal/synth"
+	"repro/internal/workload"
+)
+
+func benchScale() figures.Scale { return figures.SmallScale() }
+
+// BenchmarkFig1aSpecialization regenerates Figure 1a: throughput box
+// statistics per workload/data distribution, sorted by Φ.
+func BenchmarkFig1aSpecialization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := figures.Fig1a(benchScale(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Report the learned index's specialization spread (max/min
+		// median across distributions) vs. the traditional baseline's.
+		spread := func(sut string) float64 {
+			lo, hi := 0.0, 0.0
+			for i, r := range res.Rows[sut] {
+				m := r.Summary.Median
+				if i == 0 || m < lo {
+					lo = m
+				}
+				if i == 0 || m > hi {
+					hi = m
+				}
+			}
+			if lo == 0 {
+				return 0
+			}
+			return hi / lo
+		}
+		b.ReportMetric(spread("rmi"), "rmi-spread")
+		b.ReportMetric(spread("btree"), "btree-spread")
+	}
+}
+
+// BenchmarkFig1aWorkloadSimilarity regenerates the workload-similarity
+// variant of Figure 1a: Φ = Jaccard distance over plan subtrees (§V-D1).
+func BenchmarkFig1aWorkloadSimilarity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := figures.Fig1aWorkload(benchScale(), 51)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Phi["extra-filter"], "phi-extra-filter")
+		b.ReportMetric(res.Phi["three-way"], "phi-three-way")
+		b.ReportMetric(res.Phi["disjoint-scan"], "phi-disjoint")
+	}
+}
+
+// BenchmarkFig1bCumulative regenerates Figure 1b: cumulative queries over
+// time with the area-vs-ideal and two-system area-difference scores.
+func BenchmarkFig1bCumulative(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := figures.Fig1b(benchScale(), 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.AreaVsIdeal["rmi"], "rmi-area-vs-ideal")
+		b.ReportMetric(res.AreaVsIdeal["btree"], "btree-area-vs-ideal")
+		b.ReportMetric(res.AreaBetween, "area-between")
+	}
+}
+
+// BenchmarkFig1cSLABands regenerates Figure 1c: SLA latency bands and the
+// adjustment-speed single-value metric after a distribution change.
+func BenchmarkFig1cSLABands(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := figures.Fig1c(benchScale(), 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.AdjustmentSpeed["rmi"])/1e6, "rmi-adjust-ms")
+		b.ReportMetric(float64(res.AdjustmentSpeed["alex"])/1e6, "alex-adjust-ms")
+		b.ReportMetric(float64(res.AdjustmentSpeed["btree"])/1e6, "btree-adjust-ms")
+		b.ReportMetric(res.ViolationRate["rmi"]*100, "rmi-viol-pct")
+	}
+}
+
+// BenchmarkFig1dCostCurve regenerates Figure 1d: throughput per training
+// cost vs. the DBA step function, with the training-cost-to-outperform
+// headline metric.
+func BenchmarkFig1dCostCurve(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := figures.Fig1d(benchScale(), 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.CostToOutperformCPU, "outperform-$cpu")
+		b.ReportMetric(res.CostToOutperformGPU, "outperform-$gpu")
+		dba := res.Traditional[len(res.Traditional)-1]
+		b.ReportMetric(dba.Dollars, "dba-total-$")
+	}
+}
+
+// BenchmarkLesson1FixedVsVarying quantifies how a fixed benchmark
+// overstates the learned system's advantage.
+func BenchmarkLesson1FixedVsVarying(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := figures.Lesson1(benchScale(), 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.FixedRatio, "fixed-ratio")
+		b.ReportMetric(res.DriftRatio, "drift-ratio")
+	}
+}
+
+// BenchmarkLesson2AverageHides shows two configurations with near-equal
+// averages but divergent tails.
+func BenchmarkLesson2AverageHides(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := figures.Lesson2(benchScale(), 6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MeanGapFraction*100, "mean-gap-pct")
+		b.ReportMetric(res.TailRatio, "p99-ratio")
+	}
+}
+
+// BenchmarkLesson3Training reports the training-inclusive break-even
+// query count.
+func BenchmarkLesson3Training(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := figures.Lesson3(benchScale(), 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.TrainNs)/1e6, "train-ms")
+		b.ReportMetric(res.BreakEvenQueries, "breakeven-queries")
+	}
+}
+
+// BenchmarkLesson4TCO reports TCO with and without the human cost.
+func BenchmarkLesson4TCO(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := figures.Fig1d(benchScale(), 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := figures.Lesson4(fig)
+		b.ReportMetric(res.FullLearned, "learned-tco-$")
+		b.ReportMetric(res.FullDBA, "dba-tco-$")
+	}
+}
+
+// BenchmarkOptimizerDrift regenerates the learned-query-optimizer drift
+// experiment (extension of Fig 1b/1c onto the SQL substrate).
+func BenchmarkOptimizerDrift(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := figures.OptDrift(benchScale(), 9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		static := res.Results["static-histogram"]
+		learned := res.Results["learned-steered"]
+		b.ReportMetric(static.Throughput(), "static-q/s")
+		b.ReportMetric(learned.Throughput(), "learned-q/s")
+	}
+}
+
+// BenchmarkAblationSLA compares calibrated vs fixed SLA thresholds
+// (DESIGN.md §5.1).
+func BenchmarkAblationSLA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := figures.AblationSLA(benchScale(), 21)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.CalibratedViolationRate*100, "calibrated-viol-pct")
+		b.ReportMetric(res.LooseViolationRate*100, "loose-viol-pct")
+		b.ReportMetric(res.TightViolationRate*100, "tight-viol-pct")
+	}
+}
+
+// BenchmarkAblationPhi measures KS/MMD ordering agreement (DESIGN.md §5.2).
+func BenchmarkAblationPhi(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := figures.AblationPhi(22)
+		b.ReportMetric(res.OrderAgreement*100, "agreement-pct")
+	}
+}
+
+// BenchmarkAblationTransition compares abrupt vs gradual transitions
+// (DESIGN.md §5.3).
+func BenchmarkAblationTransition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := figures.AblationTransition(benchScale(), 23)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.AbruptDip*100, "abrupt-dip-pct")
+		b.ReportMetric(res.GradualDip*100, "gradual-dip-pct")
+	}
+}
+
+// BenchmarkAblationTrainingPlacement compares online vs scheduled
+// retraining (DESIGN.md §5.4).
+func BenchmarkAblationTrainingPlacement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := figures.AblationTrainingPlacement(benchScale(), 24)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.OnlineOverSLA)/1e6, "online-oversla-ms")
+		b.ReportMetric(float64(res.ScheduledOverSLA)/1e6, "scheduled-oversla-ms")
+	}
+}
+
+// BenchmarkAblationHoldout measures the in/out-of-sample gap (DESIGN.md §5.5).
+func BenchmarkAblationHoldout(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := figures.AblationHoldout(benchScale(), 25)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.LearnedGap, "learned-gap")
+		b.ReportMetric(res.TraditionalGap, "traditional-gap")
+	}
+}
+
+// BenchmarkLearnedCache compares LRU / LFU / learned eviction against the
+// Belady bound on drifting and scan-polluted traces.
+func BenchmarkLearnedCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := figures.CacheExperiment(benchScale(), 31)
+		scans := res.HitRate["zipf+scans"]
+		b.ReportMetric(scans["lru"]*100, "scans-lru-pct")
+		b.ReportMetric(scans["learned"]*100, "scans-learned-pct")
+		b.ReportMetric(res.Belady["zipf+scans"]*100, "scans-belady-pct")
+	}
+}
+
+// BenchmarkQualityScorer exercises the §V-C dataset-quality tool.
+func BenchmarkQualityScorer(b *testing.B) {
+	keys := distgen.NewZipfKeys(1, 1.2, 100000).Keys(100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := quality.Score(keys, nil)
+		if i == 0 {
+			b.ReportMetric(r.Overall, "overall-score")
+		}
+	}
+}
+
+// BenchmarkLearnedScheduler compares scheduling policies on a drifting
+// job workload (learned scheduling, paper §II / [30]).
+func BenchmarkLearnedScheduler(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := figures.SchedExperiment(benchScale(), 41)
+		b.ReportMetric(res.MeanSojournNs["fifo"]/1e6, "fifo-ms")
+		b.ReportMetric(res.MeanSojournNs["static-sjf"]/1e6, "static-ms")
+		b.ReportMetric(res.MeanSojournNs["learned-sjf"]/1e6, "learned-ms")
+		b.ReportMetric(res.MeanSojournNs["oracle-sjf"]/1e6, "oracle-ms")
+	}
+}
+
+// BenchmarkSynthesizer exercises the §V-C workload synthesizer: fit a
+// drifting trace, regenerate, and report the marginal fidelity (KS).
+func BenchmarkSynthesizer(b *testing.B) {
+	d := distgen.NewBlend(1,
+		distgen.NewLognormal(2, 0, 1.5, 1e12),
+		distgen.NewClustered(3, 8, 1e9))
+	trace := make([]uint64, 40000)
+	for i := range trace {
+		trace[i] = d.KeysAt(float64(i)/float64(len(trace)), 1)[0]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := synth.Fit(trace, synth.FitOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		syn := m.Generate(len(trace), 4)
+		if i == 0 {
+			b.ReportMetric(similarity.KS(trace, syn), "ks-orig-vs-synth")
+		}
+	}
+}
+
+// BenchmarkSimilarity exercises the Φ estimators (§V-D1).
+func BenchmarkSimilarity(b *testing.B) {
+	a := distgen.NewUniform(1, 0, 1<<40).Keys(10000)
+	c := distgen.NewClustered(2, 10, 1e8).Keys(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = similarity.KS(a, c)
+		_ = similarity.MMDSub(a, c, 0, 200)
+	}
+}
+
+// --- Micro-benchmarks calibrating the virtual cost model ------------------
+
+func loadedKeys(n int) ([]uint64, []uint64) {
+	keys := distgen.UniqueKeys(distgen.NewUniform(1, 0, 1<<40), n)
+	vals := make([]uint64, len(keys))
+	return keys, vals
+}
+
+func BenchmarkMicroBTreeGet(b *testing.B) {
+	keys, vals := loadedKeys(1_000_000)
+	tr := btree.NewDefault()
+	tr.BulkLoad(keys, vals)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(keys[i%len(keys)])
+	}
+}
+
+func BenchmarkMicroRMIGet(b *testing.B) {
+	keys, vals := loadedKeys(1_000_000)
+	ix := rmi.NewDefault()
+	ix.BulkLoad(keys, vals)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Get(keys[i%len(keys)])
+	}
+}
+
+func BenchmarkMicroALEXGet(b *testing.B) {
+	keys, vals := loadedKeys(1_000_000)
+	ix := alex.New()
+	ix.BulkLoad(keys, vals)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Get(keys[i%len(keys)])
+	}
+}
+
+func BenchmarkMicroALEXInsert(b *testing.B) {
+	ix := alex.New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Insert(uint64(i)*2654435761, uint64(i))
+	}
+}
+
+func BenchmarkMicroBTreeInsert(b *testing.B) {
+	tr := btree.NewDefault()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(uint64(i)*2654435761, uint64(i))
+	}
+}
+
+func BenchmarkMicroLearnedSort(b *testing.B) {
+	src := distgen.NewLognormal(1, 0, 2, 1e9).Keys(200000)
+	buf := make([]uint64, len(src))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, src)
+		learnedsort.SortAuto(buf, 0)
+	}
+}
+
+func BenchmarkMicroStdSort(b *testing.B) {
+	src := distgen.NewLognormal(1, 0, 2, 1e9).Keys(200000)
+	buf := make([]uint64, len(src))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, src)
+		learnedsort.StdSort(buf)
+	}
+}
+
+// BenchmarkMicroRunnerOverhead measures the virtual runner's per-op cost.
+func BenchmarkMicroRunnerOverhead(b *testing.B) {
+	scenario := core.Scenario{
+		Name:        "overhead",
+		Seed:        1,
+		InitialData: distgen.NewUniform(1, 0, 1<<40),
+		InitialSize: 10000,
+		IntervalNs:  1_000_000,
+		Phases: []core.Phase{{
+			Name: "p",
+			Ops:  100000,
+			Workload: workload.Spec{
+				Mix:    workload.ReadHeavy,
+				Access: distgen.Static{G: distgen.NewUniform(2, 0, 1<<40)},
+			},
+		}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.NewRunner().Run(scenario, core.NewBTreeSUT()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,333 @@
+// Command figures regenerates every evaluation artifact of the paper —
+// the four panels of Figure 1 plus the Lesson ablations — printing ASCII
+// plots to stdout and, with -csv, the raw data series for external
+// plotting. This is the end-to-end reproduction entry point referenced by
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	figures [-scale small|full] [-seed N] [-only fig1a,...] [-csv dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/figures"
+	"repro/internal/metrics"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		scaleName = flag.String("scale", "small", "experiment scale: small or full")
+		seed      = flag.Uint64("seed", 42, "base random seed")
+		only      = flag.String("only", "", "comma-separated subset: fig1a,fig1aw,fig1b,fig1c,fig1d,lessons,optdrift,ablations,cache,sched")
+		csvDir    = flag.String("csv", "", "directory for CSV series")
+	)
+	flag.Parse()
+
+	var scale figures.Scale
+	switch *scaleName {
+	case "small":
+		scale = figures.SmallScale()
+	case "full":
+		scale = figures.FullScale()
+	default:
+		fatal(fmt.Errorf("unknown scale %q", *scaleName))
+	}
+
+	want := map[string]bool{}
+	if *only == "" {
+		for _, k := range []string{"fig1a", "fig1aw", "fig1b", "fig1c", "fig1d", "lessons", "optdrift", "ablations", "cache", "sched"} {
+			want[k] = true
+		}
+	} else {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(k)] = true
+		}
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	if want["fig1a"] {
+		runFig1a(scale, *seed, *csvDir)
+	}
+	if want["fig1aw"] {
+		runFig1aWorkload(scale, *seed, *csvDir)
+	}
+	if want["fig1b"] {
+		runFig1b(scale, *seed, *csvDir)
+	}
+	if want["fig1c"] {
+		runFig1c(scale, *seed, *csvDir)
+	}
+	if want["fig1d"] {
+		runFig1d(scale, *seed, *csvDir)
+	}
+	if want["lessons"] {
+		runLessons(scale, *seed)
+	}
+	if want["optdrift"] {
+		runOptDrift(scale, *seed)
+	}
+	if want["ablations"] {
+		runAblations(scale, *seed)
+	}
+	if want["cache"] {
+		runCache(scale, *seed)
+	}
+	if want["sched"] {
+		runSched(scale, *seed)
+	}
+}
+
+func runSched(scale figures.Scale, seed uint64) {
+	section("Extension — learned scheduling on drifting job durations")
+	res := figures.SchedExperiment(scale, seed)
+	header := []string{"policy", "mean sojourn", "p99 sojourn", "train work"}
+	var rows [][]string
+	for _, p := range []string{"fifo", "static-sjf", "learned-sjf", "oracle-sjf"} {
+		rows = append(rows, []string{
+			p,
+			fmt.Sprintf("%.3fms", res.MeanSojournNs[p]/1e6),
+			fmt.Sprintf("%.3fms", float64(res.P99SojournNs[p])/1e6),
+			fmt.Sprintf("%d", res.TrainWork[p]),
+		})
+	}
+	report.Table(os.Stdout, header, rows)
+	fmt.Println()
+}
+
+func runAblations(scale figures.Scale, seed uint64) {
+	section("Design-choice ablations (DESIGN.md §5)")
+
+	sla, err := figures.AblationSLA(scale, seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("1. SLA threshold source — violation rate: calibrated %.1f%%, 100x-loose %.1f%%, 20x-tight %.1f%%\n",
+		sla.CalibratedViolationRate*100, sla.LooseViolationRate*100, sla.TightViolationRate*100)
+
+	phi := figures.AblationPhi(seed)
+	fmt.Printf("2. Φ estimator choice — KS/MMD pairwise ordering agreement: %.0f%%\n",
+		phi.OrderAgreement*100)
+
+	tr, err := figures.AblationTransition(scale, seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("3. Transition type — throughput dip: abrupt %.0f%% vs gradual %.0f%%; over-SLA %.3fms vs %.3fms\n",
+		tr.AbruptDip*100, tr.GradualDip*100,
+		float64(tr.AbruptOverSLA)/1e6, float64(tr.GradualOverSLA)/1e6)
+
+	tp, err := figures.AblationTrainingPlacement(scale, seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("4. Training placement — post-shift over-SLA: online %.3fms vs scheduled window %.3fms (window work %d)\n",
+		float64(tp.OnlineOverSLA)/1e6, float64(tp.ScheduledOverSLA)/1e6, tp.ScheduledRetrainWork)
+
+	ho, err := figures.AblationHoldout(scale, seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("5. Hold-out gap — in/out-of-sample throughput ratio: learned %.2fx vs traditional %.2fx\n\n",
+		ho.LearnedGap, ho.TraditionalGap)
+}
+
+func runCache(scale figures.Scale, seed uint64) {
+	section("Extension — learning-based cache eviction")
+	res := figures.CacheExperiment(scale, seed)
+	header := []string{"trace", "lru", "lfu", "learned", "belady (optimal)"}
+	var rows [][]string
+	for _, tr := range []string{"stable-zipf", "zipf+scans", "moving-hotspot"} {
+		row := res.HitRate[tr]
+		rows = append(rows, []string{
+			tr,
+			fmt.Sprintf("%.1f%%", row["lru"]*100),
+			fmt.Sprintf("%.1f%%", row["lfu"]*100),
+			fmt.Sprintf("%.1f%%", row["learned"]*100),
+			fmt.Sprintf("%.1f%%", res.Belady[tr]*100),
+		})
+	}
+	report.Table(os.Stdout, header, rows)
+	fmt.Println()
+}
+
+func runFig1a(scale figures.Scale, seed uint64, csvDir string) {
+	section("Figure 1a — throughput per workload/data distribution")
+	res, err := figures.Fig1a(scale, seed)
+	if err != nil {
+		fatal(err)
+	}
+	for _, sut := range report.SortedKeys(res.Rows) {
+		report.BoxPlot(os.Stdout,
+			fmt.Sprintf("%s: per-interval throughput by distribution (phi = KS distance from uniform)", sut),
+			res.Rows[sut], 64)
+		fmt.Println()
+		if csvDir != "" {
+			writeCSV(filepath.Join(csvDir, "fig1a-"+sut+".csv"), func(f *os.File) {
+				report.BoxCSV(f, res.Rows[sut])
+			})
+		}
+	}
+}
+
+func runFig1aWorkload(scale figures.Scale, seed uint64, csvDir string) {
+	section("Figure 1a (workload variant) — throughput per workload, Φ = plan-subtree Jaccard")
+	res, err := figures.Fig1aWorkload(scale, seed)
+	if err != nil {
+		fatal(err)
+	}
+	for _, sut := range report.SortedKeys(res.Rows) {
+		report.BoxPlot(os.Stdout,
+			fmt.Sprintf("%s: per-interval query throughput by workload family", sut),
+			res.Rows[sut], 64)
+		fmt.Println()
+		if csvDir != "" {
+			writeCSV(filepath.Join(csvDir, "fig1a-workload-"+sut+".csv"), func(f *os.File) {
+				report.BoxCSV(f, res.Rows[sut])
+			})
+		}
+	}
+}
+
+func runFig1b(scale figures.Scale, seed uint64, csvDir string) {
+	section("Figure 1b — cumulative queries over time")
+	res, err := figures.Fig1b(scale, seed)
+	if err != nil {
+		fatal(err)
+	}
+	report.CumulativePlot(os.Stdout, "build-then-serve: learned (rmi) vs traditional (btree)",
+		res.Labels, res.Curves, 100, 18)
+	fmt.Println()
+	if csvDir != "" {
+		writeCSV(filepath.Join(csvDir, "fig1b.csv"), func(f *os.File) {
+			report.CumulativeCSV(f, res.Labels, res.Curves, 500)
+		})
+	}
+}
+
+func runFig1c(scale figures.Scale, seed uint64, csvDir string) {
+	section("Figure 1c — SLA violations around a distribution change")
+	res, err := figures.Fig1c(scale, seed)
+	if err != nil {
+		fatal(err)
+	}
+	for _, sut := range report.SortedKeys(res.Bands) {
+		report.BandChart(os.Stdout, "SLA bands — "+sut, res.Bands[sut], 10)
+		fmt.Printf("adjustment speed (over-SLA time after change): %.3fms; violation rate %.2f%%\n\n",
+			float64(res.AdjustmentSpeed[sut])/1e6, res.ViolationRate[sut]*100)
+		if csvDir != "" {
+			sut := sut
+			writeCSV(filepath.Join(csvDir, "fig1c-"+sut+".csv"), func(f *os.File) {
+				report.BandCSV(f, res.Bands[sut])
+			})
+		}
+	}
+}
+
+func runFig1d(scale figures.Scale, seed uint64, csvDir string) {
+	section("Figure 1d — throughput per cost (training vs manual tuning)")
+	res, err := figures.Fig1d(scale, seed)
+	if err != nil {
+		fatal(err)
+	}
+	report.CostPlot(os.Stdout, "auto-tuned kv store (CPU tier) vs manual DBA",
+		res.LearnedCPU, res.Traditional, 80, 16)
+	fmt.Println()
+	report.CostPlot(os.Stdout, "auto-tuned kv store (GPU tier) vs manual DBA",
+		res.LearnedGPU, res.Traditional, 80, 16)
+	fmt.Println()
+	if csvDir != "" {
+		writeCSV(filepath.Join(csvDir, "fig1d.csv"), func(f *os.File) {
+			report.CostCSV(f, res.LearnedCPU, res.Traditional)
+		})
+	}
+}
+
+func runLessons(scale figures.Scale, seed uint64) {
+	section("Lesson ablations")
+	l1, err := figures.Lesson1(scale, seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("Lesson 1 (fixed workloads are easy to learn):\n")
+	fmt.Printf("  learned/traditional throughput ratio: fixed %.2fx -> drifting %.2fx\n\n",
+		l1.FixedRatio, l1.DriftRatio)
+
+	l2, err := figures.Lesson2(scale, seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("Lesson 2 (averages hide adaptability):\n")
+	fmt.Printf("  %s: mean %.0f ops/s, p99 latency %dns\n", l2.NameA, l2.MeanA, l2.P99LatencyA)
+	fmt.Printf("  %s: mean %.0f ops/s, p99 latency %dns\n", l2.NameB, l2.MeanB, l2.P99LatencyB)
+	fmt.Printf("  means differ %.1f%%; p99 latencies differ %.1fx\n\n",
+		l2.MeanGapFraction*100, l2.TailRatio)
+
+	l3, err := figures.Lesson3(scale, seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("Lesson 3 (training is a first-class result):\n")
+	fmt.Printf("  training %.3fms; learned %.0fns/op vs traditional %.0fns/op\n",
+		float64(l3.TrainNs)/1e6, l3.LearnedOpNs, l3.TraditionalOpNs)
+	fmt.Printf("  break-even after %.0f queries\n\n", l3.BreakEvenQueries)
+
+	fig, err := figures.Fig1d(scale, seed)
+	if err != nil {
+		fatal(err)
+	}
+	l4 := figures.Lesson4(fig)
+	fmt.Printf("Lesson 4 (human cost matters):\n")
+	fmt.Printf("  machine-only TCO: learned $%.0f vs DBA $%.0f\n", l4.MachineOnlyLearned, l4.MachineOnlyDBA)
+	fmt.Printf("  with $120/h DBA:  learned $%.0f vs DBA $%.0f\n\n", l4.FullLearned, l4.FullDBA)
+}
+
+func runOptDrift(scale figures.Scale, seed uint64) {
+	section("Extension — learned query optimizer under data drift")
+	res, err := figures.OptDrift(scale, seed)
+	if err != nil {
+		fatal(err)
+	}
+	labels := make([]string, 0, len(res.Results))
+	curves := make([]*metrics.CumCurve, 0, len(res.Results))
+	for _, name := range report.SortedKeys(res.Results) {
+		r := res.Results[name]
+		labels = append(labels, name)
+		curves = append(curves, r.Cumulative)
+		fmt.Printf("%-18s %.0f q/s, train work %d, over-SLA after drift %.3fms\n",
+			name, r.Throughput(), r.TrainWork, float64(res.AdjustmentSpeed[name])/1e6)
+	}
+	fmt.Println()
+	report.CumulativePlot(os.Stdout, "cumulative queries (drift at midpoint)", labels, curves, 100, 14)
+	fmt.Println()
+}
+
+func section(title string) {
+	fmt.Println(strings.Repeat("=", len(title)))
+	fmt.Println(title)
+	fmt.Println(strings.Repeat("=", len(title)))
+}
+
+func writeCSV(path string, emit func(*os.File)) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	emit(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "figures:", err)
+	os.Exit(1)
+}

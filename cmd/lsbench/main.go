@@ -1,0 +1,244 @@
+// Command lsbench runs a benchmark scenario described by a JSON config
+// file against one or more systems under test and prints the full report:
+// per-phase throughput statistics, the cumulative-completion curve with
+// area scores, SLA latency bands with the adjustment-speed metric, and
+// training accounting.
+//
+// Usage:
+//
+//	lsbench -config scenario.json [-suts btree,rmi,alex,hash,kvstore] [-csv dir]
+//	lsbench -example            # print a starter config and exit
+//	lsbench -remote host:port   # drive a remote SUT (netdriver server)
+//
+// With -remote the scenario runs in real time over TCP via the concurrent
+// driver; otherwise it runs on the deterministic virtual clock.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/driver"
+	"repro/internal/metrics"
+	"repro/internal/netdriver"
+	"repro/internal/report"
+)
+
+const exampleConfig = `{
+  "name": "drift-demo",
+  "seed": 42,
+  "initialData": {"kind": "zipf", "theta": 1.1, "universe": 4194304},
+  "initialSize": 100000,
+  "trainBefore": true,
+  "intervalNs": 1000000,
+  "phases": [
+    {
+      "name": "steady",
+      "ops": 100000,
+      "mix": {"get": 0.95, "put": 0.05},
+      "access": {"kind": "static", "gen": {"kind": "zipf", "theta": 1.1, "universe": 4194304}}
+    },
+    {
+      "name": "shift",
+      "ops": 100000,
+      "mix": {"get": 0.3, "put": 0.7},
+      "access": {"kind": "static", "gen": {"kind": "clustered", "clusters": 25}},
+      "insertKeys": {"kind": "static", "gen": {"kind": "clustered", "clusters": 25}},
+      "arrival": {"kind": "diurnal", "rate": 600000, "amplitude": 0.5, "cycles": 2}
+    }
+  ]
+}`
+
+func main() {
+	var (
+		configPath = flag.String("config", "", "path to the scenario JSON config")
+		suts       = flag.String("suts", "btree,rmi,alex", "comma-separated SUTs: btree,hash,rmi,alex,kvstore")
+		csvDir     = flag.String("csv", "", "directory to write per-figure CSV files into")
+		example    = flag.Bool("example", false, "print an example config and exit")
+		remote     = flag.String("remote", "", "address of a lsbenchd netdriver server (real-time mode)")
+		workers    = flag.Int("workers", 4, "driver workers in -remote mode")
+	)
+	flag.Parse()
+
+	if *example {
+		fmt.Println(exampleConfig)
+		return
+	}
+	if *configPath == "" {
+		fmt.Fprintln(os.Stderr, "lsbench: -config is required (see -example)")
+		os.Exit(2)
+	}
+	scenario, err := config.Load(*configPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *remote != "" {
+		runRemote(scenario, *remote, *workers)
+		return
+	}
+
+	factories := map[string]func() core.SUT{
+		"btree":   core.NewBTreeSUT,
+		"hash":    core.NewHashSUT,
+		"rmi":     core.NewRMISUT,
+		"alex":    core.NewALEXSUT,
+		"kvstore": core.NewKVSUTDefault,
+	}
+	var results []*core.Result
+	runner := core.NewRunner()
+	for _, name := range strings.Split(*suts, ",") {
+		name = strings.TrimSpace(name)
+		f, ok := factories[name]
+		if !ok {
+			fatal(fmt.Errorf("unknown SUT %q (have: btree,hash,rmi,alex,kvstore)", name))
+		}
+		res, err := runner.Run(scenario, f())
+		if err != nil {
+			fatal(err)
+		}
+		results = append(results, res)
+	}
+	printReport(results, *csvDir)
+}
+
+func runRemote(scenario core.Scenario, addr string, workers int) {
+	if len(scenario.Phases) != 1 {
+		fatal(fmt.Errorf("-remote mode supports single-phase scenarios"))
+	}
+	c, err := netdriver.Dial(addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+	res, err := driver.Run(c, scenario.Phases[0].Workload,
+		scenario.InitialData, scenario.InitialSize, driver.Options{
+			Workers: workers,
+			Ops:     scenario.Phases[0].Ops,
+			Seed:    scenario.Seed,
+			SLANs:   scenario.SLANs,
+		})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("remote run against %s\n", addr)
+	fmt.Printf("  completed: %d ops in %.3fs (%.0f ops/s)\n",
+		res.Completed, float64(res.DurationNs)/1e9, res.Throughput())
+	fmt.Printf("  latency: p50=%s p99=%s max=%s (SLA %s, %.2f%% violations)\n",
+		ns(res.Latency.Quantile(0.5)), ns(res.Latency.Quantile(0.99)),
+		ns(res.Latency.Max()), ns(res.SLANs), res.Bands.ViolationRate()*100)
+}
+
+func printReport(results []*core.Result, csvDir string) {
+	if len(results) == 0 {
+		return
+	}
+	fmt.Printf("scenario: %s\n\n", results[0].Scenario)
+
+	// Summary table.
+	header := []string{"sut", "ops/s", "p50", "p99", "max", "sla",
+		"viol%", "train-work", "online-work", "models"}
+	var rows [][]string
+	for _, r := range results {
+		rows = append(rows, []string{
+			r.SUT,
+			fmt.Sprintf("%.0f", r.Throughput()),
+			ns(r.Latency.Quantile(0.5)),
+			ns(r.Latency.Quantile(0.99)),
+			ns(r.Latency.Max()),
+			ns(r.SLANs),
+			fmt.Sprintf("%.2f", r.Bands.ViolationRate()*100),
+			fmt.Sprintf("%d", r.OfflineTrainWork),
+			fmt.Sprintf("%d", r.OnlineTrainWork),
+			fmt.Sprintf("%d", r.Models),
+		})
+	}
+	report.Table(os.Stdout, header, rows)
+	fmt.Println()
+
+	// Per-phase breakdown (the Figure 1a material).
+	for _, r := range results {
+		fmt.Printf("%s phases:\n", r.SUT)
+		ph := []string{"phase", "ops/s", "completed", "retrain-work"}
+		var prows [][]string
+		for _, p := range r.Phases {
+			prows = append(prows, []string{
+				p.Name,
+				fmt.Sprintf("%.0f", p.Throughput()),
+				fmt.Sprintf("%d", p.Completed),
+				fmt.Sprintf("%d", p.RetrainWork),
+			})
+		}
+		report.Table(os.Stdout, ph, prows)
+		fmt.Println()
+	}
+
+	// Figure 1b.
+	labels := make([]string, len(results))
+	curves := make([]*metrics.CumCurve, len(results))
+	for i, r := range results {
+		labels[i] = r.SUT
+		curves[i] = r.Cumulative
+	}
+	report.CumulativePlot(os.Stdout, "cumulative queries over time (Fig 1b)", labels, curves, 100, 16)
+	fmt.Println()
+
+	// Figure 1c per SUT.
+	for _, r := range results {
+		report.BandChart(os.Stdout, fmt.Sprintf("SLA bands — %s (Fig 1c)", r.SUT), r.Bands, 10)
+		if len(r.PostChangeLatencies) > 0 {
+			adj := metrics.AdjustmentSpeed(r.PostChangeLatencies[0], r.SLANs, len(r.PostChangeLatencies[0]))
+			fmt.Printf("adjustment speed after first change: %s over-SLA\n", ns(adj))
+		}
+		fmt.Println()
+	}
+
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			fatal(err)
+		}
+		writeCSV(filepath.Join(csvDir, "fig1b.csv"), func(f *os.File) {
+			report.CumulativeCSV(f, labels, curves, 500)
+		})
+		for _, r := range results {
+			r := r
+			writeCSV(filepath.Join(csvDir, "fig1c-"+r.SUT+".csv"), func(f *os.File) {
+				report.BandCSV(f, r.Bands)
+			})
+		}
+		fmt.Printf("CSV series written to %s\n", csvDir)
+	}
+}
+
+func writeCSV(path string, emit func(*os.File)) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	emit(f)
+}
+
+// ns renders nanoseconds human-readably.
+func ns(v int64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(v)/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(v)/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fµs", float64(v)/1e3)
+	default:
+		return fmt.Sprintf("%dns", v)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lsbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,52 @@
+// Command lsbenchd serves a system under test over TCP so a benchmark
+// driver on another machine can measure it — the paper's §V-A deployment
+// ("the benchmark driver should ideally run on a separate machine"). Pair
+// it with `lsbench -remote host:port`.
+//
+// Usage:
+//
+//	lsbenchd [-addr :7070] [-sut btree|hash|rmi|alex|kvstore]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"repro/internal/core"
+	"repro/internal/netdriver"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", ":7070", "listen address")
+		sut  = flag.String("sut", "btree", "SUT served per connection: btree,hash,rmi,alex,kvstore")
+	)
+	flag.Parse()
+
+	factories := map[string]func() core.SUT{
+		"btree":   core.NewBTreeSUT,
+		"hash":    core.NewHashSUT,
+		"rmi":     core.NewRMISUT,
+		"alex":    core.NewALEXSUT,
+		"kvstore": core.NewKVSUTDefault,
+	}
+	factory, ok := factories[*sut]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "lsbenchd: unknown SUT %q\n", *sut)
+		os.Exit(2)
+	}
+	srv, err := netdriver.Serve(*addr, factory)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lsbenchd:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("lsbenchd: serving %s on %s (fresh instance per connection)\n", *sut, srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("lsbenchd: shutting down")
+	srv.Close()
+}

@@ -1,0 +1,53 @@
+// Tuningcost: the Figure 1d experiment as a standalone program — an
+// auto-tuner searches the kv store's knob space under increasing training
+// budgets while a simulated DBA works through a manual tuning playbook;
+// the output is throughput-per-dollar for both, the training cost at which
+// the learned system outperforms the tuned traditional one, and the
+// Lesson 4 TCO comparison.
+//
+//	go run ./examples/tuningcost
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/figures"
+	"repro/internal/report"
+)
+
+func main() {
+	res, err := figures.Fig1d(figures.SmallScale(), 17)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Println("learned curve (auto-tuner, CPU tier):")
+	header := []string{"budget", "training $", "ops/s"}
+	var rows [][]string
+	for _, p := range res.LearnedCPU {
+		rows = append(rows, []string{p.Label, fmt.Sprintf("%.2f", p.Dollars),
+			fmt.Sprintf("%.0f", p.Throughput)})
+	}
+	report.Table(os.Stdout, header, rows)
+
+	fmt.Println("\ntraditional curve (DBA at $120/h):")
+	rows = rows[:0]
+	for _, p := range res.Traditional {
+		rows = append(rows, []string{p.Label, fmt.Sprintf("%.2f", p.Dollars),
+			fmt.Sprintf("%.0f", p.Throughput)})
+	}
+	report.Table(os.Stdout, []string{"after action", "cumulative $", "ops/s"}, rows)
+	fmt.Println()
+
+	report.CostPlot(os.Stdout, "throughput per cost (Fig 1d)",
+		res.LearnedCPU, res.Traditional, 80, 14)
+
+	l4 := figures.Lesson4(res)
+	fmt.Println("\nLesson 4 — pricing the human flips the TCO ranking:")
+	fmt.Printf("  machine-only TCO: learned $%.0f vs traditional $%.0f\n",
+		l4.MachineOnlyLearned, l4.MachineOnlyDBA)
+	fmt.Printf("  with DBA priced:  learned $%.0f vs traditional $%.0f\n",
+		l4.FullLearned, l4.FullDBA)
+}

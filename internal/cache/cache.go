@@ -1,0 +1,445 @@
+// Package cache implements the cache substrate for the benchmark's
+// learned-caching experiments — the paper lists "learning-based caches"
+// among the learned components a benchmark must cover. It provides a
+// classic LRU baseline, a sampled-LFU baseline, a *learned* eviction
+// policy that predicts per-key reuse intervals online (an LRB-style
+// approximation of Belady's algorithm), and the offline Belady oracle as
+// the upper bound.
+//
+// All policies share one interface and deterministic behaviour, so the
+// benchmark can compare hit rates and adaptation under drifting access
+// patterns.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Cache is a fixed-capacity key cache. Access records a reference to key,
+// returning whether it hit; on miss the key is admitted (possibly evicting
+// another). Implementations are deterministic and not safe for concurrent
+// use.
+type Cache interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Access references key, returns hit/miss, and admits on miss.
+	Access(key uint64) bool
+	// Len returns the number of cached keys.
+	Len() int
+	// Capacity returns the configured maximum entries.
+	Capacity() int
+}
+
+// ---------------------------------------------------------------------------
+// LRU
+// ---------------------------------------------------------------------------
+
+type lruNode struct {
+	key        uint64
+	prev, next *lruNode
+}
+
+// LRU is the classic least-recently-used policy (map + intrusive list).
+type LRU struct {
+	capacity   int
+	items      map[uint64]*lruNode
+	head, tail *lruNode // head = most recent
+}
+
+// NewLRU returns an LRU cache with the given capacity (min 1).
+func NewLRU(capacity int) *LRU {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &LRU{capacity: capacity, items: make(map[uint64]*lruNode, capacity)}
+}
+
+// Name implements Cache.
+func (c *LRU) Name() string { return "lru" }
+
+// Len implements Cache.
+func (c *LRU) Len() int { return len(c.items) }
+
+// Capacity implements Cache.
+func (c *LRU) Capacity() int { return c.capacity }
+
+func (c *LRU) unlink(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (c *LRU) pushFront(n *lruNode) {
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+// Access implements Cache.
+func (c *LRU) Access(key uint64) bool {
+	if n, ok := c.items[key]; ok {
+		c.unlink(n)
+		c.pushFront(n)
+		return true
+	}
+	if len(c.items) >= c.capacity {
+		victim := c.tail
+		c.unlink(victim)
+		delete(c.items, victim.key)
+	}
+	n := &lruNode{key: key}
+	c.items[key] = n
+	c.pushFront(n)
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Sampled LFU
+// ---------------------------------------------------------------------------
+
+// SampledLFU approximates least-frequently-used eviction by sampling K
+// resident entries and evicting the one with the lowest decayed frequency
+// (the Redis maxmemory-policy approach). Frequencies halve every
+// decayEvery accesses so the policy can forget stale popularity.
+type SampledLFU struct {
+	capacity   int
+	sampleK    int
+	decayEvery int
+	freq       map[uint64]float64
+	keys       []uint64 // resident keys, position-indexed for sampling
+	pos        map[uint64]int
+	rng        *stats.RNG
+	accesses   int
+}
+
+// NewSampledLFU returns a sampled-LFU cache.
+func NewSampledLFU(capacity int, seed uint64) *SampledLFU {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SampledLFU{
+		capacity:   capacity,
+		sampleK:    8,
+		decayEvery: capacity * 4,
+		freq:       make(map[uint64]float64, capacity),
+		pos:        make(map[uint64]int, capacity),
+		rng:        stats.NewRNG(seed),
+	}
+}
+
+// Name implements Cache.
+func (c *SampledLFU) Name() string { return "lfu" }
+
+// Len implements Cache.
+func (c *SampledLFU) Len() int { return len(c.keys) }
+
+// Capacity implements Cache.
+func (c *SampledLFU) Capacity() int { return c.capacity }
+
+// Access implements Cache.
+func (c *SampledLFU) Access(key uint64) bool {
+	c.accesses++
+	if c.decayEvery > 0 && c.accesses%c.decayEvery == 0 {
+		for k := range c.freq {
+			c.freq[k] /= 2
+		}
+	}
+	c.freq[key]++
+	if _, ok := c.pos[key]; ok {
+		return true
+	}
+	if len(c.keys) >= c.capacity {
+		c.evict()
+	}
+	c.pos[key] = len(c.keys)
+	c.keys = append(c.keys, key)
+	return false
+}
+
+func (c *SampledLFU) evict() {
+	victimIdx := -1
+	victimFreq := 0.0
+	for i := 0; i < c.sampleK; i++ {
+		idx := c.rng.Intn(len(c.keys))
+		f := c.freq[c.keys[idx]]
+		if victimIdx == -1 || f < victimFreq {
+			victimIdx, victimFreq = idx, f
+		}
+	}
+	c.removeAt(victimIdx)
+}
+
+func (c *SampledLFU) removeAt(idx int) {
+	key := c.keys[idx]
+	last := len(c.keys) - 1
+	c.keys[idx] = c.keys[last]
+	c.pos[c.keys[idx]] = idx
+	c.keys = c.keys[:last]
+	delete(c.pos, key)
+	delete(c.freq, key)
+}
+
+// ---------------------------------------------------------------------------
+// Learned (reuse-interval predicting) cache
+// ---------------------------------------------------------------------------
+
+// Learned evicts the entry predicted to be reused furthest in the future —
+// an online approximation of Belady's optimal policy. Per key it learns an
+// exponentially-weighted reuse interval from observed history; the
+// predicted next access is lastAccess + predictedInterval, and eviction
+// samples K residents and removes the one with the latest prediction.
+// Keys never seen twice get a pessimistic default, giving the policy scan
+// resistance that LRU fundamentally lacks.
+type Learned struct {
+	capacity int
+	sampleK  int
+	rng      *stats.RNG
+
+	now  int64 // logical access clock
+	meta map[uint64]*keyMeta
+	keys []uint64
+	pos  map[uint64]int
+	// trainWork counts model updates, charged by the benchmark as
+	// online training overhead.
+	trainWork int64
+}
+
+type keyMeta struct {
+	lastAccess int64
+	// interval is the EWMA of observed reuse intervals; 0 = never
+	// reused yet.
+	interval float64
+}
+
+// NewLearned returns a learned cache.
+func NewLearned(capacity int, seed uint64) *Learned {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Learned{
+		capacity: capacity,
+		sampleK:  8,
+		rng:      stats.NewRNG(seed),
+		meta:     make(map[uint64]*keyMeta, capacity*2),
+		pos:      make(map[uint64]int, capacity),
+	}
+}
+
+// Name implements Cache.
+func (c *Learned) Name() string { return "learned" }
+
+// Len implements Cache.
+func (c *Learned) Len() int { return len(c.keys) }
+
+// Capacity implements Cache.
+func (c *Learned) Capacity() int { return c.capacity }
+
+// TrainWork reports accumulated model updates.
+func (c *Learned) TrainWork() int64 { return c.trainWork }
+
+// predictedNext returns the modeled next-access time for a resident key.
+func (c *Learned) predictedNext(key uint64) float64 {
+	m := c.meta[key]
+	if m == nil {
+		return float64(c.now) + float64(c.capacity)*8
+	}
+	if m.interval == 0 {
+		// Seen once: pessimistic — beyond a full cache turnover. This
+		// is what keeps one-shot scan keys from displacing the hot set.
+		return float64(m.lastAccess) + float64(c.capacity)*8
+	}
+	return float64(m.lastAccess) + m.interval
+}
+
+// Access implements Cache.
+func (c *Learned) Access(key uint64) bool {
+	c.now++
+	m := c.meta[key]
+	if m != nil {
+		// Online model update: EWMA of the observed reuse interval.
+		obs := float64(c.now - m.lastAccess)
+		if m.interval == 0 {
+			m.interval = obs
+		} else {
+			m.interval = 0.7*m.interval + 0.3*obs
+		}
+		m.lastAccess = c.now
+		c.trainWork++
+	} else {
+		m = &keyMeta{lastAccess: c.now}
+		c.meta[key] = m
+		c.trainWork++
+		// Bound metadata: the model remembers history for ~4x capacity
+		// keys (ghost entries), evicting the stalest when over.
+		if len(c.meta) > c.capacity*4 {
+			c.forgetStalest()
+		}
+	}
+	if _, resident := c.pos[key]; resident {
+		return true
+	}
+	if len(c.keys) >= c.capacity {
+		c.evict()
+	}
+	c.pos[key] = len(c.keys)
+	c.keys = append(c.keys, key)
+	return false
+}
+
+// forgetStalest sweeps the ghost metadata, dropping every non-resident
+// entry older than the median ghost age. The sweep is deterministic (a
+// fixed age threshold, not map-iteration sampling) and amortized O(1):
+// it halves the ghost population, so it runs every ~2x capacity misses.
+func (c *Learned) forgetStalest() {
+	ages := make([]int64, 0, len(c.meta))
+	for k, m := range c.meta {
+		if _, resident := c.pos[k]; !resident {
+			ages = append(ages, m.lastAccess)
+		}
+	}
+	if len(ages) == 0 {
+		return
+	}
+	// Median via counting around the midpoint (avoid sort import churn:
+	// simple nth-element by partial selection is overkill — sort is fine
+	// at this amortization).
+	threshold := medianInt64(ages)
+	for k, m := range c.meta {
+		if _, resident := c.pos[k]; resident {
+			continue
+		}
+		if m.lastAccess <= threshold {
+			delete(c.meta, k)
+		}
+	}
+}
+
+func medianInt64(xs []int64) int64 {
+	// Deterministic selection of the median by value, independent of
+	// slice order: quickselect with a fixed pivot rule.
+	lo, hi := 0, len(xs)-1
+	k := len(xs) / 2
+	for lo < hi {
+		pivot := xs[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for xs[i] < pivot {
+				i++
+			}
+			for xs[j] > pivot {
+				j--
+			}
+			if i <= j {
+				xs[i], xs[j] = xs[j], xs[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			break
+		}
+	}
+	return xs[k]
+}
+
+func (c *Learned) evict() {
+	victimIdx := -1
+	victimPred := 0.0
+	for i := 0; i < c.sampleK; i++ {
+		idx := c.rng.Intn(len(c.keys))
+		p := c.predictedNext(c.keys[idx])
+		if victimIdx == -1 || p > victimPred {
+			victimIdx, victimPred = idx, p
+		}
+	}
+	key := c.keys[victimIdx]
+	last := len(c.keys) - 1
+	c.keys[victimIdx] = c.keys[last]
+	c.pos[c.keys[victimIdx]] = victimIdx
+	c.keys = c.keys[:last]
+	delete(c.pos, key)
+}
+
+// ---------------------------------------------------------------------------
+// Belady oracle
+// ---------------------------------------------------------------------------
+
+// BeladyHitRate computes the hit rate of the offline-optimal (Belady)
+// policy on a full trace with the given capacity — the upper bound the
+// benchmark reports alongside the online policies.
+func BeladyHitRate(trace []uint64, capacity int) float64 {
+	if len(trace) == 0 || capacity < 1 {
+		return 0
+	}
+	// next[i] = index of the next occurrence of trace[i] (or infinity).
+	next := make([]int, len(trace))
+	lastSeen := make(map[uint64]int)
+	const inf = 1 << 62
+	for i := len(trace) - 1; i >= 0; i-- {
+		if j, ok := lastSeen[trace[i]]; ok {
+			next[i] = j
+		} else {
+			next[i] = inf
+		}
+		lastSeen[trace[i]] = i
+	}
+	resident := make(map[uint64]int, capacity) // key -> next use index
+	hits := 0
+	for i, key := range trace {
+		if _, ok := resident[key]; ok {
+			hits++
+			resident[key] = next[i]
+			continue
+		}
+		if len(resident) >= capacity {
+			// Evict the key with the furthest next use.
+			var victim uint64
+			worst := -1
+			for k, n := range resident {
+				if n > worst {
+					victim, worst = k, n
+				}
+			}
+			delete(resident, victim)
+		}
+		resident[key] = next[i]
+	}
+	return float64(hits) / float64(len(trace))
+}
+
+// HitRate replays a trace through a cache and returns the hit fraction.
+func HitRate(c Cache, trace []uint64) float64 {
+	if len(trace) == 0 {
+		return 0
+	}
+	hits := 0
+	for _, k := range trace {
+		if c.Access(k) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(trace))
+}
+
+// String summaries.
+func (c *LRU) String() string     { return fmt.Sprintf("lru(cap=%d)", c.capacity) }
+func (c *Learned) String() string { return fmt.Sprintf("learned(cap=%d)", c.capacity) }

@@ -1,0 +1,353 @@
+// Package card implements cardinality estimation for the mini SQL engine:
+// a ground-truth oracle, the traditional equi-depth histogram and sampling
+// estimators, and a *learned* estimator that trains on observed query
+// feedback and keeps learning online — the workload-driven approach of the
+// learned cardinality estimation literature the paper cites [25]-[29].
+//
+// The estimators differ exactly where the paper says benchmarks must look:
+// the histogram is built once ("ANALYZE") and silently goes stale when the
+// data drifts; the learned estimator pays a training cost, tracks feedback
+// collection (§IV: "collect and curate data labels for training"), and
+// adapts.
+package card
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sqlmini"
+)
+
+// Estimator predicts the number of rows of a table matching predicates.
+type Estimator interface {
+	// Name identifies the estimator in reports.
+	Name() string
+	// EstimateScan predicts |σ_preds(t)|.
+	EstimateScan(t *sqlmini.Table, preds []sqlmini.Predicate) float64
+}
+
+// JoinEstimator additionally predicts equi-join output sizes from input
+// estimates using per-column distinct counts.
+type JoinEstimator interface {
+	Estimator
+	// EstimateJoin predicts |L ⋈ R| given the estimated input sizes and
+	// the joined columns on the base tables that own them.
+	EstimateJoin(leftCard, rightCard float64,
+		leftTable *sqlmini.Table, leftCol string,
+		rightTable *sqlmini.Table, rightCol string) float64
+}
+
+// QError is the standard cardinality-estimation accuracy metric:
+// max(est/true, true/est), with the convention that zero values are
+// clamped to 1 row. 1.0 is perfect.
+func QError(estimate, truth float64) float64 {
+	if estimate < 1 {
+		estimate = 1
+	}
+	if truth < 1 {
+		truth = 1
+	}
+	if estimate > truth {
+		return estimate / truth
+	}
+	return truth / estimate
+}
+
+// ---------------------------------------------------------------------------
+// Exact oracle
+// ---------------------------------------------------------------------------
+
+// Exact is the ground-truth oracle: it scans the table. Used to score the
+// other estimators and as the "perfect optimizer" upper bound.
+type Exact struct{}
+
+// Name implements Estimator.
+func (Exact) Name() string { return "exact" }
+
+// EstimateScan implements Estimator by counting.
+func (Exact) EstimateScan(t *sqlmini.Table, preds []sqlmini.Predicate) float64 {
+	return float64(sqlmini.TrueCardinality(t, preds))
+}
+
+// EstimateJoin implements JoinEstimator with the textbook containment
+// formula using true distinct counts.
+func (Exact) EstimateJoin(l, r float64, lt *sqlmini.Table, lc string, rt *sqlmini.Table, rc string) float64 {
+	return containmentJoin(l, r, float64(lt.DistinctCount(lc)), float64(rt.DistinctCount(rc)))
+}
+
+func containmentJoin(l, r, ldv, rdv float64) float64 {
+	dv := ldv
+	if rdv > dv {
+		dv = rdv
+	}
+	if dv < 1 {
+		dv = 1
+	}
+	return l * r / dv
+}
+
+// ---------------------------------------------------------------------------
+// Equi-depth histogram (traditional, built once, goes stale)
+// ---------------------------------------------------------------------------
+
+// Histogram is the traditional estimator: per-column equi-depth histograms
+// captured by Analyze. It never updates itself — after data drift its
+// estimates are silently wrong, which is the failure mode the benchmark's
+// adaptability metrics expose.
+type Histogram struct {
+	buckets int
+	cols    map[string]*colHist // key: table.column
+	rows    map[string]float64  // table -> row count at analyze time
+	dv      map[string]float64  // table.column -> distinct estimate
+}
+
+type colHist struct {
+	// bounds[i] is the upper inclusive bound of bucket i; each bucket
+	// holds ~rowsPerBucket rows.
+	bounds        []uint64
+	rowsPerBucket float64
+	min           uint64
+}
+
+// NewHistogram returns an estimator with the given buckets per column.
+func NewHistogram(buckets int) *Histogram {
+	if buckets < 1 {
+		buckets = 1
+	}
+	return &Histogram{
+		buckets: buckets,
+		cols:    make(map[string]*colHist),
+		rows:    make(map[string]float64),
+		dv:      make(map[string]float64),
+	}
+}
+
+// Name implements Estimator.
+func (h *Histogram) Name() string { return fmt.Sprintf("histogram(%d)", h.buckets) }
+
+// Analyze captures statistics for every column of t (the ANALYZE command).
+// The work performed (rows scanned) is returned so the benchmark can charge
+// it as maintenance cost.
+func (h *Histogram) Analyze(t *sqlmini.Table) int {
+	h.rows[t.Name] = float64(t.Len())
+	work := 0
+	for _, c := range t.Columns {
+		vals := t.ColumnValues(c)
+		work += len(vals)
+		key := t.Name + "." + c
+		if len(vals) == 0 {
+			h.cols[key] = &colHist{}
+			h.dv[key] = 0
+			continue
+		}
+		ch := &colHist{min: vals[0]}
+		per := len(vals) / h.buckets
+		if per < 1 {
+			per = 1
+		}
+		for i := per - 1; i < len(vals); i += per {
+			ch.bounds = append(ch.bounds, vals[i])
+		}
+		if ch.bounds[len(ch.bounds)-1] != vals[len(vals)-1] {
+			ch.bounds = append(ch.bounds, vals[len(vals)-1])
+		}
+		ch.rowsPerBucket = float64(len(vals)) / float64(len(ch.bounds))
+		h.cols[key] = ch
+		// Distinct estimate from a pass over the sorted values.
+		dv := 1
+		for i := 1; i < len(vals); i++ {
+			if vals[i] != vals[i-1] {
+				dv++
+			}
+		}
+		h.dv[key] = float64(dv)
+	}
+	return work
+}
+
+// selectivity estimates the fraction of rows matching p.
+func (ch *colHist) selectivity(p sqlmini.Predicate, totalRows, distinct float64) float64 {
+	if len(ch.bounds) == 0 || totalRows == 0 {
+		return 0
+	}
+	cdf := func(v uint64) float64 { // P(col <= v)
+		if v < ch.min {
+			return 0
+		}
+		i := sort.Search(len(ch.bounds), func(i int) bool { return ch.bounds[i] >= v })
+		if i == len(ch.bounds) {
+			return 1
+		}
+		// Linear interpolation within bucket i.
+		lo := ch.min
+		if i > 0 {
+			lo = ch.bounds[i-1]
+		}
+		hi := ch.bounds[i]
+		frac := 1.0
+		if hi > lo {
+			frac = float64(v-lo) / float64(hi-lo)
+		}
+		return (float64(i) + frac) / float64(len(ch.bounds))
+	}
+	switch p.Op {
+	case sqlmini.Eq:
+		if distinct < 1 {
+			distinct = 1
+		}
+		return 1 / distinct
+	case sqlmini.Lt:
+		if p.Value == 0 {
+			return 0
+		}
+		return cdf(p.Value - 1)
+	case sqlmini.Ge:
+		if p.Value == 0 {
+			return 1
+		}
+		return 1 - cdf(p.Value-1)
+	case sqlmini.Between:
+		loCDF := 0.0
+		if p.Value > 0 {
+			loCDF = cdf(p.Value - 1)
+		}
+		s := cdf(p.Hi) - loCDF
+		if s < 0 {
+			s = 0
+		}
+		return s
+	default:
+		return 0.1
+	}
+}
+
+// EstimateScan implements Estimator assuming predicate independence (the
+// classic System R assumption, with its classic correlated-predicate
+// failure mode).
+func (h *Histogram) EstimateScan(t *sqlmini.Table, preds []sqlmini.Predicate) float64 {
+	total, ok := h.rows[t.Name]
+	if !ok {
+		// Never analyzed: magic default selectivity.
+		return float64(t.Len()) * defaultSelectivity(len(preds))
+	}
+	sel := 1.0
+	for _, p := range preds {
+		key := t.Name + "." + p.Column
+		ch, ok := h.cols[key]
+		if !ok {
+			sel *= 0.1
+			continue
+		}
+		sel *= ch.selectivity(p, total, h.dv[key])
+	}
+	return total * sel
+}
+
+func defaultSelectivity(preds int) float64 {
+	s := 1.0
+	for i := 0; i < preds; i++ {
+		s *= 0.1
+	}
+	return s
+}
+
+// EstimateJoin implements JoinEstimator with analyze-time distinct counts.
+func (h *Histogram) EstimateJoin(l, r float64, lt *sqlmini.Table, lc string, rt *sqlmini.Table, rc string) float64 {
+	ldv, lok := h.dv[lt.Name+"."+lc]
+	rdv, rok := h.dv[rt.Name+"."+rc]
+	if !lok || !rok {
+		return l * r * 0.01
+	}
+	return containmentJoin(l, r, ldv, rdv)
+}
+
+// ---------------------------------------------------------------------------
+// Sampling estimator
+// ---------------------------------------------------------------------------
+
+// Sample estimates by evaluating predicates on a fixed-rate row sample
+// taken at Analyze time. More robust to correlation than histograms,
+// equally stale after drift.
+type Sample struct {
+	rate    float64
+	samples map[string][][]uint64 // table -> sampled rows
+	tables  map[string]*sqlmini.Table
+	rows    map[string]float64
+	dv      map[string]float64
+}
+
+// NewSample returns a sampling estimator with the given rate in (0, 1].
+func NewSample(rate float64) *Sample {
+	if rate <= 0 || rate > 1 {
+		panic("card: sample rate out of (0,1]")
+	}
+	return &Sample{
+		rate:    rate,
+		samples: make(map[string][][]uint64),
+		tables:  make(map[string]*sqlmini.Table),
+		rows:    make(map[string]float64),
+		dv:      make(map[string]float64),
+	}
+}
+
+// Name implements Estimator.
+func (s *Sample) Name() string { return fmt.Sprintf("sample(%.2f)", s.rate) }
+
+// Analyze captures a deterministic stride sample of t.
+func (s *Sample) Analyze(t *sqlmini.Table) int {
+	n := t.Len()
+	s.rows[t.Name] = float64(n)
+	s.tables[t.Name] = t
+	want := int(float64(n) * s.rate)
+	if want < 1 && n > 0 {
+		want = 1
+	}
+	var rows [][]uint64
+	if want > 0 {
+		stride := float64(n) / float64(want)
+		for i := 0; i < want; i++ {
+			rows = append(rows, t.Rows[int(float64(i)*stride)])
+		}
+	}
+	s.samples[t.Name] = rows
+	for _, c := range t.Columns {
+		s.dv[t.Name+"."+c] = float64(t.DistinctCount(c))
+	}
+	return n
+}
+
+// EstimateScan implements Estimator by counting sample matches.
+func (s *Sample) EstimateScan(t *sqlmini.Table, preds []sqlmini.Predicate) float64 {
+	rows, ok := s.samples[t.Name]
+	if !ok || len(rows) == 0 {
+		return float64(t.Len()) * defaultSelectivity(len(preds))
+	}
+	idxs := make([]int, len(preds))
+	for i, p := range preds {
+		idxs[i] = t.Col(p.Column)
+	}
+	match := 0
+	for _, row := range rows {
+		ok := true
+		for i, p := range preds {
+			if !p.Matches(row[idxs[i]]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			match++
+		}
+	}
+	return float64(match) / float64(len(rows)) * s.rows[t.Name]
+}
+
+// EstimateJoin implements JoinEstimator.
+func (s *Sample) EstimateJoin(l, r float64, lt *sqlmini.Table, lc string, rt *sqlmini.Table, rc string) float64 {
+	ldv, lok := s.dv[lt.Name+"."+lc]
+	rdv, rok := s.dv[rt.Name+"."+rc]
+	if !lok || !rok {
+		return l * r * 0.01
+	}
+	return containmentJoin(l, r, ldv, rdv)
+}

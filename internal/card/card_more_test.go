@@ -1,0 +1,154 @@
+package card
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sqlmini"
+)
+
+func TestEstimatorNames(t *testing.T) {
+	for _, e := range []Estimator{Exact{}, NewHistogram(16), NewSample(0.1), NewLearned()} {
+		if e.Name() == "" {
+			t.Fatal("empty estimator name")
+		}
+	}
+	if !strings.Contains(NewHistogram(32).Name(), "32") {
+		t.Fatal("histogram name should carry bucket count")
+	}
+}
+
+func TestHistogramBucketClamp(t *testing.T) {
+	h := NewHistogram(0) // clamps to 1 bucket
+	tab := sqlmini.NewTable("t", "a")
+	for i := uint64(0); i < 100; i++ {
+		tab.Append(i)
+	}
+	h.Analyze(tab)
+	got := h.EstimateScan(tab, []sqlmini.Predicate{{Column: "a", Op: sqlmini.Lt, Value: 50}})
+	if got <= 0 || got > 100 {
+		t.Fatalf("single-bucket estimate %v", got)
+	}
+}
+
+func TestHistogramSelectivityEdges(t *testing.T) {
+	tab := sqlmini.NewTable("t", "a")
+	for i := uint64(10); i < 110; i++ {
+		tab.Append(i)
+	}
+	h := NewHistogram(16)
+	h.Analyze(tab)
+	cases := []struct {
+		p    sqlmini.Predicate
+		want float64 // approximate expected cardinality
+		tol  float64
+	}{
+		{sqlmini.Predicate{Column: "a", Op: sqlmini.Lt, Value: 0}, 0, 1},
+		{sqlmini.Predicate{Column: "a", Op: sqlmini.Lt, Value: 5}, 0, 1},
+		{sqlmini.Predicate{Column: "a", Op: sqlmini.Ge, Value: 0}, 100, 1},
+		{sqlmini.Predicate{Column: "a", Op: sqlmini.Ge, Value: 200}, 0, 7},
+		{sqlmini.Predicate{Column: "a", Op: sqlmini.Between, Value: 200, Hi: 300}, 0, 7},
+		{sqlmini.Predicate{Column: "a", Op: sqlmini.Between, Value: 30, Hi: 20}, 0, 1}, // inverted
+	}
+	for _, c := range cases {
+		got := h.EstimateScan(tab, []sqlmini.Predicate{c.p})
+		if got < c.want-c.tol || got > c.want+c.tol {
+			t.Fatalf("%v: estimate %v, want ~%v", c.p, got, c.want)
+		}
+	}
+	// Unknown predicate column: falls back without panicking.
+	tab2 := sqlmini.NewTable("t2", "b")
+	tab2.Append(1)
+	h.Analyze(tab2)
+	// Analyzed table, predicate on a column analyzed under another table
+	// name — exercises the missing-column fallback path.
+	est := h.EstimateScan(tab, []sqlmini.Predicate{{Column: "a", Op: sqlmini.Eq, Value: 50}})
+	if est <= 0 {
+		t.Fatalf("eq estimate %v", est)
+	}
+}
+
+func TestHistogramEmptyColumn(t *testing.T) {
+	tab := sqlmini.NewTable("empty", "a")
+	h := NewHistogram(8)
+	h.Analyze(tab)
+	got := h.EstimateScan(tab, []sqlmini.Predicate{{Column: "a", Op: sqlmini.Lt, Value: 10}})
+	if got != 0 {
+		t.Fatalf("empty-table estimate %v", got)
+	}
+}
+
+func TestLearnedEstimateJoin(t *testing.T) {
+	users := sqlmini.NewTable("users", "id")
+	for i := uint64(0); i < 100; i++ {
+		users.Append(i)
+	}
+	orders := sqlmini.NewTable("orders", "uid")
+	for i := uint64(0); i < 300; i++ {
+		orders.Append(i % 100)
+	}
+	l := NewLearned()
+	// Without table metadata: conservative fallback.
+	fallback := l.EstimateJoin(100, 300, users, "id", orders, "uid")
+	if fallback <= 0 {
+		t.Fatalf("fallback join estimate %v", fallback)
+	}
+	// With metadata: containment formula.
+	l.ObserveTable(users)
+	l.ObserveTable(orders)
+	got := l.EstimateJoin(100, 300, users, "id", orders, "uid")
+	if q := QError(got, 300); q > 1.5 {
+		t.Fatalf("learned join q-error %v (est %v)", q, got)
+	}
+}
+
+func TestLearnedEstimateScanEdges(t *testing.T) {
+	tab := sqlmini.NewTable("t", "a")
+	for i := uint64(0); i < 100; i++ {
+		tab.Append(i)
+	}
+	l := NewLearned()
+	// Empty-table registration path.
+	empty := sqlmini.NewTable("e", "a")
+	l.ObserveTable(empty)
+	if got := l.EstimateScan(empty, nil); got != 0 {
+		t.Fatalf("empty table estimate %v", got)
+	}
+	l.ObserveTable(tab)
+	// Lt 0 and Ge 0 boundary predicates.
+	if got := l.EstimateScan(tab, []sqlmini.Predicate{{Column: "a", Op: sqlmini.Lt, Value: 0}}); got != 0 {
+		t.Fatalf("Lt 0 estimate %v", got)
+	}
+	if got := l.EstimateScan(tab, []sqlmini.Predicate{{Column: "a", Op: sqlmini.Ge, Value: 0}}); got != 100 {
+		t.Fatalf("Ge 0 estimate %v", got)
+	}
+	// Between with feedback on an untouched column uses the fallback
+	// interpolation paths.
+	p := sqlmini.Predicate{Column: "a", Op: sqlmini.Between, Value: 10, Hi: 20}
+	if got := l.EstimateScan(tab, []sqlmini.Predicate{p}); got < 0 || got > 100 {
+		t.Fatalf("between estimate %v", got)
+	}
+	// Never-observed table falls back to live Len().
+	fresh := sqlmini.NewTable("fresh", "a")
+	fresh.Append(1)
+	if got := NewLearned().EstimateScan(fresh, nil); got != 1 {
+		t.Fatalf("unobserved table estimate %v", got)
+	}
+}
+
+func TestLearnedTrainPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	l := NewLearned()
+	tab := sqlmini.NewTable("t", "a")
+	l.Train(tab, []sqlmini.Predicate{{Column: "a"}}, nil)
+}
+
+func TestContainmentJoinZeroDV(t *testing.T) {
+	if got := containmentJoin(10, 10, 0, 0); got != 100 {
+		t.Fatalf("zero-dv containment %v (dv clamps to 1)", got)
+	}
+}

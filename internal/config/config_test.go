@@ -1,0 +1,183 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+const sampleJSON = `{
+  "name": "sample",
+  "seed": 42,
+  "initialData": {"kind": "zipf", "theta": 1.1, "universe": 1048576},
+  "initialSize": 5000,
+  "trainBefore": true,
+  "intervalNs": 200000,
+  "phases": [
+    {
+      "name": "steady",
+      "ops": 2000,
+      "mix": {"get": 0.9, "put": 0.1},
+      "access": {"kind": "static", "gen": {"kind": "zipf", "theta": 1.1, "universe": 1048576}}
+    },
+    {
+      "name": "shift",
+      "ops": 2000,
+      "mix": {"get": 0.5, "put": 0.5},
+      "access": {"kind": "abrupt", "at": 0.3,
+        "startGen": {"kind": "uniform"},
+        "endGen": {"kind": "clustered", "clusters": 10}},
+      "insertKeys": {"kind": "static", "gen": {"kind": "sequential", "maxGap": 8}},
+      "arrival": {"kind": "diurnal", "rate": 500000, "amplitude": 0.4, "cycles": 2},
+      "retrainBefore": true
+    }
+  ]
+}`
+
+func TestParseAndRun(t *testing.T) {
+	scenario, err := Parse([]byte(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scenario.Name != "sample" || len(scenario.Phases) != 2 {
+		t.Fatalf("scenario = %+v", scenario)
+	}
+	if !scenario.Phases[1].RetrainBefore {
+		t.Fatal("retrainBefore lost")
+	}
+	res, err := core.NewRunner().Run(scenario, core.NewRMISUT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 4000 {
+		t.Fatalf("completed = %d", res.Completed)
+	}
+}
+
+func TestParseDeterministic(t *testing.T) {
+	a, err := Parse([]byte(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Parse([]byte(sampleJSON))
+	ra, err := core.NewRunner().Run(a, core.NewBTreeSUT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, _ := core.NewRunner().Run(b, core.NewBTreeSUT())
+	if ra.DurationNs != rb.DurationNs {
+		t.Fatal("config-built scenarios not deterministic")
+	}
+}
+
+func TestLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.json")
+	if err := os.WriteFile(path, []byte(sampleJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestAllGeneratorKinds(t *testing.T) {
+	kinds := []string{"uniform", "normal", "lognormal", "zipf", "clustered",
+		"segmented", "sequential", "email"}
+	for _, k := range kinds {
+		g, err := GenSpec{Kind: k}.Build(1)
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		if len(g.Keys(10)) != 10 {
+			t.Fatalf("%s: no keys", k)
+		}
+	}
+	if _, err := (GenSpec{Kind: "nope"}).Build(1); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestAllDriftKinds(t *testing.T) {
+	u := &GenSpec{Kind: "uniform"}
+	specs := []DriftSpec{
+		{Kind: "static", Gen: u},
+		{Kind: "blend", StartGen: u, EndGen: u},
+		{Kind: "abrupt", StartGen: u, EndGen: u, At: 0.4},
+		{Kind: "hotspot"},
+		{Kind: "growskew"},
+		{Kind: "schedule", Segments: []DriftSpec{{Kind: "static", Gen: u}}},
+	}
+	for _, s := range specs {
+		d, err := s.Build(1)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Kind, err)
+		}
+		if len(d.KeysAt(0.5, 5)) != 5 {
+			t.Fatalf("%s: no keys", s.Kind)
+		}
+	}
+	bad := []DriftSpec{
+		{Kind: "static"},
+		{Kind: "blend", StartGen: u},
+		{Kind: "schedule"},
+		{Kind: "mystery"},
+	}
+	for _, s := range bad {
+		if _, err := s.Build(1); err == nil {
+			t.Fatalf("%s: invalid spec accepted", s.Kind)
+		}
+	}
+}
+
+func TestAllArrivalKinds(t *testing.T) {
+	specs := []ArrivalSpec{
+		{Kind: "closed"},
+		{Kind: ""},
+		{Kind: "poisson", Rate: 1000},
+		{Kind: "diurnal", Rate: 1000},
+		{Kind: "bursty", Rate: 1000},
+	}
+	for _, s := range specs {
+		a, err := s.Build(1)
+		if err != nil {
+			t.Fatalf("%q: %v", s.Kind, err)
+		}
+		if g := a.NextGap(0.5); g < 0 {
+			t.Fatalf("%q: negative gap", s.Kind)
+		}
+	}
+	bad := []ArrivalSpec{
+		{Kind: "poisson"},
+		{Kind: "diurnal"},
+		{Kind: "bursty"},
+		{Kind: "warp"},
+	}
+	for _, s := range bad {
+		if _, err := s.Build(1); err == nil {
+			t.Fatalf("%q: invalid spec accepted", s.Kind)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad-json":   `{`,
+		"no-phases":  `{"name":"x","initialData":{"kind":"uniform"},"initialSize":10}`,
+		"bad-gen":    `{"name":"x","initialData":{"kind":"warp"},"initialSize":10,"phases":[{"name":"p","ops":5,"mix":{"get":1},"access":{"kind":"static","gen":{"kind":"uniform"}}}]}`,
+		"bad-access": `{"name":"x","initialData":{"kind":"uniform"},"initialSize":10,"phases":[{"name":"p","ops":5,"mix":{"get":1},"access":{"kind":"static"}}]}`,
+	}
+	for name, doc := range cases {
+		if _, err := Parse([]byte(doc)); err == nil {
+			t.Fatalf("%s: accepted", name)
+		} else if !strings.Contains(err.Error(), "config:") && !strings.Contains(err.Error(), "core:") {
+			t.Fatalf("%s: unhelpful error %v", name, err)
+		}
+	}
+}

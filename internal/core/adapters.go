@@ -1,0 +1,195 @@
+package core
+
+import (
+	"repro/internal/index"
+	"repro/internal/index/alex"
+	"repro/internal/index/btree"
+	"repro/internal/index/hashidx"
+	"repro/internal/index/rmi"
+	"repro/internal/kv"
+	"repro/internal/workload"
+)
+
+// IndexSUT adapts any index.Ordered into a benchmark SUT, deriving each
+// operation's Work from the index's instrumentation counters so the
+// virtual clock charges realistic, distribution-dependent service times.
+type IndexSUT struct {
+	ix            index.Ordered
+	lastCompare   uint64
+	lastSplits    uint64
+	lastTrainWork uint64
+	online        int64
+}
+
+// NewIndexSUT wraps an index.
+func NewIndexSUT(ix index.Ordered) *IndexSUT { return &IndexSUT{ix: ix} }
+
+// Name implements SUT.
+func (s *IndexSUT) Name() string { return s.ix.Name() }
+
+// Load implements SUT.
+func (s *IndexSUT) Load(keys, values []uint64) {
+	if bl, ok := s.ix.(index.BulkLoader); ok {
+		bl.BulkLoad(keys, values)
+		return
+	}
+	for i, k := range keys {
+		s.ix.Insert(k, values[i])
+	}
+}
+
+// Do implements SUT.
+func (s *IndexSUT) Do(op workload.Op) OpResult {
+	var res OpResult
+	switch op.Type {
+	case workload.Get:
+		_, res.Found = s.ix.Get(op.Key)
+	case workload.Put:
+		s.ix.Insert(op.Key, op.Value)
+	case workload.Delete:
+		res.Found = s.ix.Delete(op.Key)
+	case workload.Scan:
+		limit := op.ScanLimit
+		res.Visited = s.ix.Scan(op.Key, ^uint64(0), func(_, _ uint64) bool {
+			limit--
+			return limit > 0
+		})
+	}
+	res.Work = s.workDelta(op, res)
+	return res
+}
+
+// workDelta derives the operation's work from instrumentation counters,
+// falling back to coarse estimates for uninstrumented indexes.
+func (s *IndexSUT) workDelta(op workload.Op, res OpResult) int64 {
+	in, ok := s.ix.(index.Instrumented)
+	if !ok {
+		w := int64(20)
+		if op.Type == workload.Scan {
+			w += int64(res.Visited)
+		}
+		return w
+	}
+	st := in.Stats()
+	compares := int64(st.Compares - s.lastCompare)
+	splits := int64(st.Splits - s.lastSplits)
+	train := int64(st.TrainWork - s.lastTrainWork)
+	s.lastCompare = st.Compares
+	s.lastSplits = st.Splits
+	s.lastTrainWork = st.TrainWork
+	// Structural modifications and online model rebuilds are charged at
+	// their full entry-touching cost — these are exactly the latency
+	// spikes the adaptability metrics must surface — and also count as
+	// training overhead (the paper's online-learning cost accounting).
+	work := compares + int64(res.Visited)
+	if splits > 0 {
+		work += splits * 16 // tree split / directory bookkeeping
+	}
+	if train > 0 {
+		work += train
+		s.online += train
+	}
+	if op.Type == workload.Put || op.Type == workload.Delete {
+		work += 4 // slot write / shift amortization
+	}
+	return work
+}
+
+// Train implements Trainable when the wrapped index is trainable.
+func (s *IndexSUT) Train() TrainReport {
+	tr, ok := s.ix.(index.Trainable)
+	if !ok {
+		return TrainReport{}
+	}
+	work := tr.Retrain()
+	return TrainReport{WorkUnits: int64(work), Models: tr.ModelCount()}
+}
+
+// OnlineTrainWork implements OnlineLearner: structural adaptation work
+// accumulated during execution.
+func (s *IndexSUT) OnlineTrainWork() int64 { return s.online }
+
+// Underlying exposes the wrapped index (examples and tests).
+func (s *IndexSUT) Underlying() index.Ordered { return s.ix }
+
+// Factories for the standard SUT lineup.
+
+// NewBTreeSUT returns the traditional B+ tree SUT.
+func NewBTreeSUT() SUT { return NewIndexSUT(btree.NewDefault()) }
+
+// NewHashSUT returns the hash-index SUT.
+func NewHashSUT() SUT { return NewIndexSUT(hashidx.New()) }
+
+// NewRMISUT returns the static learned-index SUT.
+func NewRMISUT() SUT { return NewIndexSUT(rmi.NewDefault()) }
+
+// NewALEXSUT returns the adaptive learned-index SUT.
+func NewALEXSUT() SUT { return NewIndexSUT(alex.New()) }
+
+// StandardSUTs returns factories for the full comparison lineup.
+func StandardSUTs() []func() SUT {
+	return []func() SUT{NewBTreeSUT, NewHashSUT, NewRMISUT, NewALEXSUT}
+}
+
+// KVSUT adapts the log-structured kv.Store.
+type KVSUT struct {
+	store *kv.Store
+	last  kv.Counters
+}
+
+// NewKVSUT wraps a store opened with the given knobs.
+func NewKVSUT(knobs kv.Knobs) *KVSUT { return &KVSUT{store: kv.Open(knobs)} }
+
+// NewKVSUTDefault returns a kv-store SUT with the untuned default knobs.
+func NewKVSUTDefault() SUT { return NewKVSUT(kv.DefaultKnobs()) }
+
+// Name implements SUT.
+func (s *KVSUT) Name() string { return "kvstore" }
+
+// Store exposes the wrapped store (for the tuner experiments).
+func (s *KVSUT) Store() *kv.Store { return s.store }
+
+// Load implements SUT.
+func (s *KVSUT) Load(keys, values []uint64) {
+	for i, k := range keys {
+		s.store.Put(k, values[i])
+	}
+	s.store.Flush()
+}
+
+// Do implements SUT.
+func (s *KVSUT) Do(op workload.Op) OpResult {
+	var res OpResult
+	switch op.Type {
+	case workload.Get:
+		_, res.Found = s.store.Get(op.Key)
+	case workload.Put:
+		s.store.Put(op.Key, op.Value)
+	case workload.Delete:
+		s.store.Delete(op.Key)
+		res.Found = true
+	case workload.Scan:
+		limit := op.ScanLimit
+		res.Visited = s.store.Scan(op.Key, ^uint64(0), func(_, _ uint64) bool {
+			limit--
+			return limit > 0
+		})
+	}
+	c := s.store.Counters()
+	// Work: probes + compaction volume since the last op; compaction is
+	// the kv store's latency-spike source.
+	work := int64(c.RunProbes-s.last.RunProbes) +
+		int64(c.RunsSearchedSum-s.last.RunsSearchedSum) +
+		int64(res.Visited) + 4
+	work += int64(c.CompactedBytes-s.last.CompactedBytes) / 4
+	s.last = c
+	res.Work = work
+	return res
+}
+
+var (
+	_ SUT           = (*IndexSUT)(nil)
+	_ Trainable     = (*IndexSUT)(nil)
+	_ OnlineLearner = (*IndexSUT)(nil)
+	_ SUT           = (*KVSUT)(nil)
+)

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/workload"
+)
+
+// DegradedSUT wraps a SUT and injects a work-multiplier fault during a
+// window of the run — modelling a background failure (device slowdown,
+// noisy neighbour, partial outage) in the spirit of the Under Pressure
+// benchmark the paper cites for shifting-conditions evaluation.
+//
+// Its purpose is meta-validation: a benchmark that claims to measure
+// adaptability must *detect* an injected disruption in its own metrics
+// (bands light up, the timeline dips, adaptation time is measurable).
+// TestInjectedFaultIsDetected asserts exactly that.
+type DegradedSUT struct {
+	Inner SUT
+	// Factor multiplies every operation's Work while degraded (>= 1).
+	Factor int64
+	// FromOp and ToOp bound the degraded window in completed-operation
+	// counts (the wrapper counts Do calls).
+	FromOp, ToOp int64
+
+	ops int64
+}
+
+// NewDegradedSUT wraps inner with a fault window.
+func NewDegradedSUT(inner SUT, factor int64, fromOp, toOp int64) *DegradedSUT {
+	if factor < 1 {
+		factor = 1
+	}
+	return &DegradedSUT{Inner: inner, Factor: factor, FromOp: fromOp, ToOp: toOp}
+}
+
+// Name implements SUT.
+func (d *DegradedSUT) Name() string {
+	return fmt.Sprintf("%s+fault(x%d)", d.Inner.Name(), d.Factor)
+}
+
+// Load implements SUT.
+func (d *DegradedSUT) Load(keys, values []uint64) { d.Inner.Load(keys, values) }
+
+// Do implements SUT, inflating Work inside the fault window.
+func (d *DegradedSUT) Do(op workload.Op) OpResult {
+	res := d.Inner.Do(op)
+	if d.ops >= d.FromOp && d.ops < d.ToOp {
+		res.Work *= d.Factor
+	}
+	d.ops++
+	return res
+}
+
+// Train implements Trainable when the inner SUT does.
+func (d *DegradedSUT) Train() TrainReport {
+	if tr, ok := d.Inner.(Trainable); ok {
+		return tr.Train()
+	}
+	return TrainReport{}
+}
+
+// OnlineTrainWork implements OnlineLearner when the inner SUT does.
+func (d *DegradedSUT) OnlineTrainWork() int64 {
+	if ol, ok := d.Inner.(OnlineLearner); ok {
+		return ol.OnlineTrainWork()
+	}
+	return 0
+}
+
+var (
+	_ SUT           = (*DegradedSUT)(nil)
+	_ Trainable     = (*DegradedSUT)(nil)
+	_ OnlineLearner = (*DegradedSUT)(nil)
+)

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestInjectedFaultIsDetected is the benchmark's sensitivity check: a 60x
+// slowdown injected into the middle of a steady run must be visible in
+// every adaptability metric the paper proposes.
+func TestInjectedFaultIsDetected(t *testing.T) {
+	s := quickScenario(9000)
+	sut := NewDegradedSUT(NewBTreeSUT(), 60, 3000, 4500)
+	res, err := NewRunner().Run(s, sut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy, err := NewRunner().Run(s, NewBTreeSUT())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 1. The timeline dips during the fault.
+	faultStart := res.DurationNs / 3 // approximate: first third is healthy
+	if dip := res.Timeline.DipDepth(faultStart); dip < 0.5 {
+		t.Fatalf("dip depth %v — fault invisible in the timeline", dip)
+	}
+	// 2. SLA bands light up only in the degraded run.
+	if res.Bands.ViolationRate() <= healthy.Bands.ViolationRate() {
+		t.Fatalf("violations: degraded %v vs healthy %v",
+			res.Bands.ViolationRate(), healthy.Bands.ViolationRate())
+	}
+	if res.Bands.ViolationRate() < 0.05 {
+		t.Fatalf("degraded violation rate %v too low to notice", res.Bands.ViolationRate())
+	}
+	// 3. The cumulative curve departs from ideal more than the healthy run.
+	if res.Cumulative.AreaVsIdeal() <= healthy.Cumulative.AreaVsIdeal() {
+		t.Fatal("area-vs-ideal does not reflect the fault")
+	}
+	// 4. The run is slower overall.
+	if res.Throughput() >= healthy.Throughput() {
+		t.Fatal("throughput unaffected by a 60x fault")
+	}
+}
+
+func TestDegradedSUTWindowBounds(t *testing.T) {
+	// Materialize so both runs replay identical inputs (generators are
+	// stateful; without pinning, the comparison would be apples/oranges).
+	s := quickScenario(3000).Materialize()
+	// Fault window entirely after the run: no effect.
+	sut := NewDegradedSUT(NewBTreeSUT(), 50, 10_000, 20_000)
+	res, err := NewRunner().Run(s, sut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy, err := NewRunner().Run(s, NewBTreeSUT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DurationNs != healthy.DurationNs {
+		t.Fatalf("out-of-window fault changed the run: %d vs %d",
+			res.DurationNs, healthy.DurationNs)
+	}
+}
+
+func TestDegradedSUTPassthrough(t *testing.T) {
+	inner := NewRMISUT()
+	d := NewDegradedSUT(inner, 0, 0, 0) // factor clamps to 1
+	if !strings.Contains(d.Name(), "rmi") || !strings.Contains(d.Name(), "fault") {
+		t.Fatalf("name = %q", d.Name())
+	}
+	d.Load([]uint64{1, 2, 3}, []uint64{10, 20, 30})
+	rep := d.Train()
+	if rep.Models == 0 {
+		t.Fatal("Train not forwarded to trainable inner SUT")
+	}
+	if d.OnlineTrainWork() != 0 {
+		t.Fatal("unexpected online work")
+	}
+	// Non-trainable inner: zero-value report, no panic.
+	d2 := NewDegradedSUT(NewBTreeSUT(), 2, 0, 10)
+	if d2.Train().WorkUnits != 0 || d2.OnlineTrainWork() != 0 {
+		t.Fatal("non-trainable passthrough")
+	}
+}

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/distgen"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// PhaseResult carries the per-phase measurements that back Figure 1a: one
+// phase is one workload/data situation, summarized by descriptive
+// throughput statistics rather than a single average.
+type PhaseResult struct {
+	Name string
+	// StartNs/EndNs are virtual times bounding the phase.
+	StartNs, EndNs int64
+	Completed      int64
+	Latency        *metrics.Histogram
+	// RetrainWork is the training work charged by a RetrainBefore window.
+	RetrainWork int64
+}
+
+// Throughput returns the phase's average throughput in ops/second.
+func (p PhaseResult) Throughput() float64 {
+	d := p.EndNs - p.StartNs
+	if d <= 0 {
+		return 0
+	}
+	return float64(p.Completed) / (float64(d) / 1e9)
+}
+
+// Result is the full outcome of one scenario run against one SUT,
+// carrying every metric family of Figure 1.
+type Result struct {
+	Scenario string
+	SUT      string
+
+	// Figure 1a: per-interval throughput and latency.
+	Timeline *metrics.Timeline
+	// Figure 1b: cumulative completions over virtual time.
+	Cumulative *metrics.CumCurve
+	// Figure 1c: SLA latency bands.
+	Bands *metrics.BandTracker
+	// Overall latency histogram.
+	Latency *metrics.Histogram
+	// Per-phase breakdown.
+	Phases []PhaseResult
+	// PhaseStarts are the virtual times each phase began — the
+	// "distribution change" instants for adaptation metrics.
+	PhaseStarts []int64
+	// PostChangeLatencies records, for each phase after the first, the
+	// latencies of the first operations after the change (input to the
+	// AdjustmentSpeed metric).
+	PostChangeLatencies [][]int64
+
+	// Lesson 3: training accounting.
+	OfflineTrainWork int64
+	OnlineTrainWork  int64
+	Models           int
+
+	// SLA threshold used (ns).
+	SLANs int64
+	// Total virtual duration (ns) and completed ops.
+	DurationNs int64
+	Completed  int64
+}
+
+// Throughput returns the run's overall average throughput (ops/sec).
+func (r *Result) Throughput() float64 {
+	if r.DurationNs <= 0 {
+		return 0
+	}
+	return float64(r.Completed) / (float64(r.DurationNs) / 1e9)
+}
+
+// Runner executes scenarios against SUTs on a virtual clock.
+type Runner struct {
+	Cost sim.CostModel
+	// PostChangeN is how many operations after each phase change feed
+	// the adjustment-speed metric (default 1000).
+	PostChangeN int
+}
+
+// NewRunner returns a runner with the default cost model.
+func NewRunner() *Runner {
+	return &Runner{Cost: sim.DefaultCostModel(), PostChangeN: 1000}
+}
+
+// Run executes the scenario against the SUT and returns the full result.
+func (r *Runner) Run(s Scenario, sut SUT) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	clock := &sim.Virtual{}
+
+	// Load the initial database (pinned keys when materialized, so
+	// compared SUTs see identical data).
+	keys := s.InitialKeys
+	if keys == nil {
+		keys = distgen.UniqueKeys(s.InitialData, s.InitialSize)
+	}
+	values := make([]uint64, len(keys))
+	for i, k := range keys {
+		values[i] = k ^ 0xDEADBEEF
+	}
+	sut.Load(keys, values)
+
+	res := &Result{
+		Scenario:   s.Name,
+		SUT:        sut.Name(),
+		Timeline:   metrics.NewTimeline(s.interval()),
+		Cumulative: &metrics.CumCurve{},
+		Latency:    metrics.NewHistogram(),
+	}
+
+	// Offline training phase (charged, not hidden — Lesson 3).
+	if s.TrainBefore {
+		if tr, ok := sut.(Trainable); ok {
+			rep := tr.Train()
+			res.OfflineTrainWork += rep.WorkUnits
+			res.Models = rep.Models
+			clock.Advance(r.Cost.TrainTime(rep.WorkUnits))
+		}
+	}
+
+	// SLA: fixed by scenario, else calibrated deterministically from the
+	// first phase's first (up to) 1000 latencies — the paper's rule of
+	// deriving the threshold from baseline latency statistics on the
+	// same workload. Until the threshold exists, completions are parked
+	// in `pending` and replayed into the band tracker on creation.
+	sla := s.SLANs
+	bands := (*metrics.BandTracker)(nil)
+	var pending []comp
+
+	onlineBase := int64(0)
+	if ol, ok := sut.(OnlineLearner); ok {
+		onlineBase = ol.OnlineTrainWork()
+	}
+
+	var completed int64
+	for pi, phase := range s.Phases {
+		pres := PhaseResult{Name: phase.Name, StartNs: clock.Now(), Latency: metrics.NewHistogram()}
+		res.PhaseStarts = append(res.PhaseStarts, pres.StartNs)
+
+		if phase.RetrainBefore {
+			if tr, ok := sut.(Trainable); ok {
+				rep := tr.Train()
+				pres.RetrainWork = rep.WorkUnits
+				res.OfflineTrainWork += rep.WorkUnits
+				res.Models = rep.Models
+				clock.Advance(r.Cost.TrainTime(rep.WorkUnits))
+			}
+		}
+
+		var gen *workload.Generator
+		var arrival workload.Arrival
+		if phase.Trace == nil {
+			gen = workload.NewGenerator(phase.Workload, s.Seed+uint64(pi)*7919+1)
+			arrival = phase.Arrival
+			if arrival == nil {
+				arrival = workload.ClosedLoop{}
+			}
+		}
+
+		// Single-server queue in virtual time.
+		prevArrival := clock.Now()
+		serverFree := clock.Now()
+		var postChange []int64
+
+		for i := 0; i < phase.Ops; i++ {
+			progress := float64(i) / float64(phase.Ops)
+			var op workload.Op
+			var gap int64
+			if phase.Trace != nil {
+				op = phase.Trace.Ops[i]
+				gap = phase.Trace.Gaps[i]
+			} else {
+				op = gen.Next(progress)
+				gap = arrival.NextGap(progress)
+			}
+			var arrive int64
+			if gap == 0 {
+				// Closed loop: arrive when the server frees up.
+				arrive = serverFree
+			} else {
+				arrive = prevArrival + gap
+			}
+			prevArrival = arrive
+
+			start := arrive
+			if serverFree > start {
+				start = serverFree
+			}
+			opRes := sut.Do(op)
+			service := r.Cost.ServiceTime(opRes.Work)
+			done := start + service
+			serverFree = done
+			clock.AdvanceTo(done)
+
+			latency := done - arrive
+			completed++
+			res.Cumulative.Add(done, completed)
+			res.Timeline.Record(done, latency)
+			res.Latency.Record(latency)
+			pres.Latency.Record(latency)
+			pres.Completed++
+
+			if bands == nil {
+				pending = append(pending, comp{done, latency})
+				if sla == 0 && len(pending) == 1000 {
+					sla = calibrateComps(pending)
+				}
+				if sla > 0 {
+					bands = metrics.NewBandTracker(sla, s.interval())
+					for _, c := range pending {
+						bands.Record(c.t, c.lat)
+					}
+					pending = nil
+				}
+			} else {
+				bands.Record(done, latency)
+			}
+			if pi > 0 && len(postChange) < r.PostChangeN {
+				postChange = append(postChange, latency)
+			}
+		}
+		pres.EndNs = clock.Now()
+		res.Phases = append(res.Phases, pres)
+		if pi > 0 {
+			res.PostChangeLatencies = append(res.PostChangeLatencies, postChange)
+		}
+		if pi == 0 && sla == 0 {
+			// Phase 0 shorter than the calibration window: calibrate
+			// from whatever it produced so later phases are tracked.
+			sla = calibrateComps(pending)
+		}
+		if bands == nil && sla > 0 {
+			bands = metrics.NewBandTracker(sla, s.interval())
+			for _, c := range pending {
+				bands.Record(c.t, c.lat)
+			}
+			pending = nil
+		}
+	}
+
+	if bands == nil {
+		bands = metrics.NewBandTracker(calibrateComps(pending), s.interval())
+		for _, c := range pending {
+			bands.Record(c.t, c.lat)
+		}
+	}
+	if sla == 0 {
+		sla = bands.SLA()
+	}
+	res.Bands = bands
+	res.SLANs = sla
+	res.DurationNs = clock.Now()
+	res.Completed = completed
+	if ol, ok := sut.(OnlineLearner); ok {
+		res.OnlineTrainWork = ol.OnlineTrainWork() - onlineBase
+	}
+	return res, nil
+}
+
+// calibrateComps derives an SLA threshold from observed completions per
+// the paper's baseline-statistics rule: a generous multiple of the median
+// so that steady-state operation is comfortably within SLA and only
+// adaptation disruptions violate it.
+// comp is a parked completion awaiting SLA calibration.
+type comp struct{ t, lat int64 }
+
+func calibrateComps(comps []comp) int64 {
+	if len(comps) == 0 {
+		return 1_000_000 // 1ms fallback
+	}
+	h := metrics.NewHistogram()
+	for _, c := range comps {
+		h.Record(c.lat)
+	}
+	return metrics.CalibrateSLA(h, 0.5, 20)
+}
+
+// RunAll executes the scenario against multiple SUT factories, returning
+// results in order. A factory builds a fresh SUT so runs are independent;
+// the initial database is materialized once so every SUT is loaded with
+// identical data (fair head-to-head comparison).
+func (r *Runner) RunAll(s Scenario, factories []func() SUT) ([]*Result, error) {
+	s = s.Materialize()
+	out := make([]*Result, 0, len(factories))
+	for _, f := range factories {
+		res, err := r.Run(s, f())
+		if err != nil {
+			return nil, fmt.Errorf("core: running %s: %w", s.Name, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

@@ -1,0 +1,319 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/distgen"
+	"repro/internal/workload"
+)
+
+// quickScenario builds a small single-phase scenario.
+func quickScenario(ops int) Scenario {
+	return Scenario{
+		Name:        "quick",
+		Seed:        1,
+		InitialData: distgen.NewUniform(1, 0, 1<<40),
+		InitialSize: 5000,
+		TrainBefore: true,
+		IntervalNs:  100_000, // 0.1ms: fine enough for short virtual runs
+		Phases: []Phase{{
+			Name: "steady",
+			Ops:  ops,
+			Workload: workload.Spec{
+				Mix:    workload.ReadHeavy,
+				Access: distgen.Static{G: distgen.NewUniform(2, 0, 1<<40)},
+			},
+		}},
+	}
+}
+
+func shiftScenario() Scenario {
+	s := quickScenario(4000)
+	s.Name = "shift"
+	s.Phases = append(s.Phases, Phase{
+		Name: "shifted",
+		Ops:  4000,
+		Workload: workload.Spec{
+			Mix:    workload.Balanced,
+			Access: distgen.Static{G: distgen.NewClustered(3, 5, 1e9)},
+			InsertKeys: distgen.Static{
+				G: distgen.NewUniform(4, 1<<41, 1<<42)},
+		},
+	})
+	return s
+}
+
+func TestRunnerBasics(t *testing.T) {
+	res, err := NewRunner().Run(quickScenario(3000), NewBTreeSUT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 3000 {
+		t.Fatalf("completed = %d", res.Completed)
+	}
+	if res.DurationNs <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+	if res.Throughput() <= 0 {
+		t.Fatal("zero throughput")
+	}
+	if res.Cumulative.Total() != 3000 {
+		t.Fatal("cumulative curve incomplete")
+	}
+	if res.Latency.Count() != 3000 {
+		t.Fatal("latency histogram incomplete")
+	}
+	if res.SLANs <= 0 {
+		t.Fatal("no SLA calibrated")
+	}
+	if res.SUT != "btree" || res.Scenario != "quick" {
+		t.Fatal("labels missing")
+	}
+}
+
+func TestRunnerDeterministic(t *testing.T) {
+	a, err := NewRunner().Run(shiftScenario(), NewALEXSUT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRunner().Run(shiftScenario(), NewALEXSUT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DurationNs != b.DurationNs || a.Completed != b.Completed {
+		t.Fatalf("runs differ: %d/%d vs %d/%d", a.DurationNs, a.Completed, b.DurationNs, b.Completed)
+	}
+	if a.Latency.Quantile(0.99) != b.Latency.Quantile(0.99) {
+		t.Fatal("latency distributions differ")
+	}
+}
+
+func TestRunnerTrainingCharged(t *testing.T) {
+	res, err := NewRunner().Run(quickScenario(1000), NewRMISUT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OfflineTrainWork <= 0 {
+		t.Fatal("RMI training not charged")
+	}
+	if res.Models <= 0 {
+		t.Fatal("no models reported")
+	}
+	// B+ tree has no training.
+	bres, err := NewRunner().Run(quickScenario(1000), NewBTreeSUT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bres.OfflineTrainWork != 0 {
+		t.Fatal("btree charged training")
+	}
+}
+
+func TestRunnerPhases(t *testing.T) {
+	res, err := NewRunner().Run(shiftScenario(), NewBTreeSUT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Phases) != 2 {
+		t.Fatalf("phases = %d", len(res.Phases))
+	}
+	if len(res.PhaseStarts) != 2 || res.PhaseStarts[1] <= res.PhaseStarts[0] {
+		t.Fatalf("phase starts = %v", res.PhaseStarts)
+	}
+	if len(res.PostChangeLatencies) != 1 || len(res.PostChangeLatencies[0]) == 0 {
+		t.Fatal("post-change latencies missing")
+	}
+	for _, p := range res.Phases {
+		if p.Completed != 4000 {
+			t.Fatalf("phase %s completed %d", p.Name, p.Completed)
+		}
+		if p.Throughput() <= 0 {
+			t.Fatalf("phase %s throughput", p.Name)
+		}
+	}
+}
+
+func TestRunnerRetrainBefore(t *testing.T) {
+	s := shiftScenario()
+	s.Phases[1].RetrainBefore = true
+	res, err := NewRunner().Run(s, NewRMISUT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Phases[1].RetrainWork <= 0 {
+		t.Fatal("scheduled retrain not recorded")
+	}
+}
+
+func TestRunnerBandsCoverAllOps(t *testing.T) {
+	res, err := NewRunner().Run(shiftScenario(), NewBTreeSUT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, iv := range res.Bands.Intervals() {
+		total += iv.Completed
+	}
+	if total != res.Completed {
+		t.Fatalf("bands cover %d of %d ops", total, res.Completed)
+	}
+}
+
+func TestRunnerBandsTinyFirstPhase(t *testing.T) {
+	// Phase 0 shorter than the 1000-op calibration window: bands must
+	// still cover everything.
+	s := shiftScenario()
+	s.Phases[0].Ops = 200
+	res, err := NewRunner().Run(s, NewBTreeSUT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, iv := range res.Bands.Intervals() {
+		total += iv.Completed
+	}
+	if total != res.Completed {
+		t.Fatalf("bands cover %d of %d ops", total, res.Completed)
+	}
+}
+
+func TestRunnerFixedSLA(t *testing.T) {
+	s := quickScenario(1000)
+	s.SLANs = 123456
+	res, err := NewRunner().Run(s, NewBTreeSUT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SLANs != 123456 || res.Bands.SLA() != 123456 {
+		t.Fatalf("fixed SLA not honoured: %d", res.SLANs)
+	}
+}
+
+func TestRunnerOnlineLearnerAccounting(t *testing.T) {
+	// ALEX under heavy inserts must accumulate online training work.
+	s := quickScenario(1000)
+	s.Phases[0].Workload.Mix = workload.WriteHeavy
+	s.Phases[0].Workload.InsertKeys = distgen.Static{G: distgen.NewUniform(9, 0, 1<<50)}
+	s.Phases[0].Ops = 20000
+	res, err := NewRunner().Run(s, NewALEXSUT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OnlineTrainWork <= 0 {
+		t.Fatal("online training work not collected")
+	}
+}
+
+func TestRunnerValidation(t *testing.T) {
+	r := NewRunner()
+	bad := []Scenario{
+		{},
+		{InitialData: distgen.NewUniform(1, 0, 10)},
+		{InitialData: distgen.NewUniform(1, 0, 10), Phases: []Phase{{Ops: 0}}},
+		{InitialData: distgen.NewUniform(1, 0, 10), Phases: []Phase{{Ops: 5}}},
+	}
+	for i, s := range bad {
+		if _, err := r.Run(s, NewBTreeSUT()); err == nil {
+			t.Fatalf("scenario %d: no validation error", i)
+		}
+	}
+}
+
+func TestRunnerOpenLoopQueueing(t *testing.T) {
+	// An arrival rate far above service capacity must produce latencies
+	// far beyond service time (queueing delay) — the mechanism behind
+	// realistic SLA violations under bursts.
+	s := quickScenario(3000)
+	s.Phases[0].Arrival = workload.NewPoisson(5, 5_000_000) // 5M/s: saturating
+	res, err := NewRunner().Run(s, NewBTreeSUT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed, err := NewRunner().Run(quickScenario(3000), NewBTreeSUT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latency.Quantile(0.99) <= 2*closed.Latency.Quantile(0.99) {
+		t.Fatalf("saturated open loop p99 (%d) not above closed loop (%d)",
+			res.Latency.Quantile(0.99), closed.Latency.Quantile(0.99))
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	results, err := NewRunner().RunAll(quickScenario(500), StandardSUTs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("results = %d", len(results))
+	}
+	names := map[string]bool{}
+	for _, r := range results {
+		names[r.SUT] = true
+	}
+	for _, want := range []string{"btree", "hash", "rmi", "alex"} {
+		if !names[want] {
+			t.Fatalf("missing SUT %s in %v", want, names)
+		}
+	}
+}
+
+func TestHoldoutRegistry(t *testing.T) {
+	reg := NewHoldoutRegistry()
+	if err := reg.Register("secret", func() Scenario { return quickScenario(300) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register("secret", func() Scenario { return quickScenario(300) }); err == nil {
+		t.Fatal("duplicate registration allowed")
+	}
+	r := NewRunner()
+	res, err := reg.RunOnce(r, "secret", NewBTreeSUT)
+	if err != nil || res.Completed != 300 {
+		t.Fatalf("first run: %v", err)
+	}
+	if _, err := reg.RunOnce(r, "secret", NewBTreeSUT); err == nil {
+		t.Fatal("second attempt allowed")
+	}
+	// A different SUT still gets its attempt.
+	if _, err := reg.RunOnce(r, "secret", NewRMISUT); err != nil {
+		t.Fatalf("different SUT blocked: %v", err)
+	}
+	if _, err := reg.RunOnce(r, "ghost", NewBTreeSUT); err == nil || !strings.Contains(err.Error(), "unknown") {
+		t.Fatalf("unknown hold-out: %v", err)
+	}
+	if len(reg.Names()) != 1 {
+		t.Fatalf("names = %v", reg.Names())
+	}
+}
+
+func TestKVSUTRuns(t *testing.T) {
+	s := quickScenario(2000)
+	s.Phases[0].Workload.Mix = workload.Balanced
+	res, err := NewRunner().Run(s, NewKVSUTDefault())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 2000 {
+		t.Fatalf("completed = %d", res.Completed)
+	}
+}
+
+func TestAdaptabilityShiftVisibleInMetrics(t *testing.T) {
+	// Integration: on an abrupt insert-flood shift, the learned adaptive
+	// index must show online work AND the metrics must register phase
+	// boundaries usable for adaptation analysis.
+	s := shiftScenario()
+	s.Phases[1].Workload.Mix = workload.WriteHeavy
+	res, err := NewRunner().Run(s, NewALEXSUT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	changeAt := res.PhaseStarts[1]
+	if changeAt <= 0 || changeAt >= res.DurationNs {
+		t.Fatalf("change instant %d outside run", changeAt)
+	}
+	if res.Timeline.Intervals() < 2 {
+		t.Fatal("timeline too coarse to analyze")
+	}
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/distgen"
+	"repro/internal/workload"
+)
+
+// Phase is one segment of a benchmark run: a workload spec executed for a
+// fixed number of operations under an arrival process. Distribution drift
+// happens *within* phases (the specs carry Drift sources) and *between*
+// them (consecutive phases with different specs are the paper's "two
+// separate execution phases with possible retraining in-between").
+type Phase struct {
+	Name string
+	// Ops is the number of operations issued in this phase.
+	Ops int
+	// Workload generates the operation stream.
+	Workload workload.Spec
+	// Arrival paces the phase. Nil means closed loop.
+	Arrival workload.Arrival
+	// RetrainBefore asks the runner to invoke Trainable.Train before the
+	// phase starts (the scheduled-retraining window of §V-B).
+	RetrainBefore bool
+	// Trace, when non-nil, replays a pinned operation/arrival stream
+	// instead of drawing from the (stateful) Workload and Arrival
+	// sources. Materialize fills it so compared SUTs receive identical
+	// streams.
+	Trace *PhaseTrace
+}
+
+// PhaseTrace is a materialized phase input: the exact operations and
+// inter-arrival gaps, in issue order.
+type PhaseTrace struct {
+	Ops  []workload.Op
+	Gaps []int64
+}
+
+// Scenario is a full benchmark configuration: initial database, training
+// budget, and a sequence of phases. It mirrors the configuration surface
+// the paper sketches in §V-B.
+type Scenario struct {
+	Name string
+	Seed uint64
+	// InitialData generates the keys bulk-loaded before the run. Note
+	// that generators are stateful: a Run draws from it. For identical
+	// databases across several runs, materialize once (see Materialize)
+	// or set InitialKeys directly.
+	InitialData distgen.Generator
+	// InitialSize is the number of unique initial keys.
+	InitialSize int
+	// InitialKeys, when non-nil, is used verbatim (sorted unique keys)
+	// instead of drawing from InitialData. RunAll sets it so every SUT
+	// is loaded with the identical database.
+	InitialKeys []uint64
+	// TrainBefore invokes Trainable.Train after loading, before phase 1,
+	// and reports it as the offline training phase.
+	TrainBefore bool
+	Phases      []Phase
+	// IntervalNs is the reporting interval width (Fig 1c bands, Fig 1a
+	// throughput samples). 0 defaults to 10ms virtual.
+	IntervalNs int64
+	// SLANs fixes the SLA threshold; 0 means calibrate from the
+	// baseline run (paper's rule) or fall back to 20x median.
+	SLANs int64
+}
+
+// Materialize pins every stateful input of the scenario: the initial keys
+// (drawn once from InitialData) and each phase's operation and arrival
+// stream (drawn once from its Workload and Arrival sources). Runs of the
+// returned scenario are replays of identical inputs — required for fair
+// head-to-head SUT comparison, since generators and drift processes are
+// stateful and would otherwise advance between runs.
+func (s Scenario) Materialize() Scenario {
+	if s.InitialKeys == nil && s.InitialData != nil && s.InitialSize > 0 {
+		s.InitialKeys = distgen.UniqueKeys(s.InitialData, s.InitialSize)
+	}
+	phases := make([]Phase, len(s.Phases))
+	copy(phases, s.Phases)
+	for pi := range phases {
+		p := &phases[pi]
+		if p.Trace != nil || p.Ops <= 0 || p.Workload.Access == nil {
+			continue
+		}
+		gen := workload.NewGenerator(p.Workload, s.Seed+uint64(pi)*7919+1)
+		arrival := p.Arrival
+		if arrival == nil {
+			arrival = workload.ClosedLoop{}
+		}
+		tr := &PhaseTrace{
+			Ops:  make([]workload.Op, p.Ops),
+			Gaps: make([]int64, p.Ops),
+		}
+		for i := 0; i < p.Ops; i++ {
+			progress := float64(i) / float64(p.Ops)
+			tr.Ops[i] = gen.Next(progress)
+			tr.Gaps[i] = arrival.NextGap(progress)
+		}
+		p.Trace = tr
+	}
+	s.Phases = phases
+	return s
+}
+
+// Validate checks the scenario is runnable.
+func (s Scenario) Validate() error {
+	if s.InitialData == nil && s.InitialKeys == nil {
+		return fmt.Errorf("core: scenario %q has no initial data", s.Name)
+	}
+	if s.InitialSize < 0 {
+		return fmt.Errorf("core: scenario %q has negative initial size", s.Name)
+	}
+	if len(s.Phases) == 0 {
+		return fmt.Errorf("core: scenario %q has no phases", s.Name)
+	}
+	for i, p := range s.Phases {
+		if p.Ops <= 0 {
+			return fmt.Errorf("core: scenario %q phase %d has no ops", s.Name, i)
+		}
+		if p.Workload.Access == nil && p.Trace == nil {
+			return fmt.Errorf("core: scenario %q phase %d has no access distribution", s.Name, i)
+		}
+		if p.Trace != nil && (len(p.Trace.Ops) != p.Ops || len(p.Trace.Gaps) != p.Ops) {
+			return fmt.Errorf("core: scenario %q phase %d trace length mismatch", s.Name, i)
+		}
+	}
+	return nil
+}
+
+// interval returns the effective reporting interval.
+func (s Scenario) interval() int64 {
+	if s.IntervalNs > 0 {
+		return s.IntervalNs
+	}
+	return 10_000_000 // 10ms
+}

@@ -1,0 +1,393 @@
+// Package distgen generates synthetic datasets whose key distributions
+// imitate the real-world shapes the paper calls for (§V-C): skewed,
+// clustered, segmented, and drifting distributions, alongside uniform
+// baselines that the dataset-quality tool is supposed to penalize.
+//
+// Every generator is deterministic given its seed, produces sorted or
+// unsorted uint64 keys on demand, and exposes its CDF family so the
+// similarity estimators (KS, MMD) can position distributions relative to a
+// baseline for the paper's Figure 1a.
+package distgen
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// KeyDomain is the inclusive upper bound used by generators that need a
+// bounded key universe. 2^60 leaves headroom for drift shifts without
+// overflow.
+const KeyDomain = uint64(1) << 60
+
+// Generator produces synthetic keys from a fixed distribution.
+type Generator interface {
+	// Name identifies the distribution family and parameters, e.g.
+	// "zipf(theta=1.1)". Names are used in reports and as registry keys.
+	Name() string
+	// Keys returns n keys drawn from the distribution. Keys may repeat;
+	// callers that need a set should use UniqueKeys.
+	Keys(n int) []uint64
+}
+
+// UniqueKeys draws from g until n distinct keys have been collected and
+// returns them sorted ascending. It gives up and pads deterministically if
+// the distribution's support is too small, so it always returns exactly n
+// keys.
+func UniqueKeys(g Generator, n int) []uint64 {
+	seen := make(map[uint64]struct{}, n)
+	out := make([]uint64, 0, n)
+	attempts := 0
+	for len(out) < n && attempts < 50 {
+		for _, k := range g.Keys(n) {
+			if _, dup := seen[k]; !dup {
+				seen[k] = struct{}{}
+				out = append(out, k)
+				if len(out) == n {
+					break
+				}
+			}
+		}
+		attempts++
+	}
+	// Deterministic padding for tiny-support distributions.
+	next := uint64(1)
+	for len(out) < n {
+		if _, dup := seen[next]; !dup {
+			seen[next] = struct{}{}
+			out = append(out, next)
+		}
+		next++
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Uniform draws keys uniformly from [Lo, Hi).
+type Uniform struct {
+	Lo, Hi uint64
+	rng    *stats.RNG
+}
+
+// NewUniform returns a uniform generator over [lo, hi).
+func NewUniform(seed uint64, lo, hi uint64) *Uniform {
+	if hi <= lo {
+		panic("distgen: NewUniform with hi <= lo")
+	}
+	return &Uniform{Lo: lo, Hi: hi, rng: stats.NewRNG(seed)}
+}
+
+// Name implements Generator.
+func (u *Uniform) Name() string { return fmt.Sprintf("uniform[%d,%d)", u.Lo, u.Hi) }
+
+// Keys implements Generator.
+func (u *Uniform) Keys(n int) []uint64 {
+	out := make([]uint64, n)
+	span := u.Hi - u.Lo
+	for i := range out {
+		out[i] = u.Lo + u.rng.Uint64()%span
+	}
+	return out
+}
+
+// Normal draws keys from a (truncated) normal distribution, rounded to
+// integers and clamped to [0, KeyDomain).
+type Normal struct {
+	Mu, Sigma float64
+	rng       *stats.RNG
+}
+
+// NewNormal returns a normal generator with the given mean and deviation.
+func NewNormal(seed uint64, mu, sigma float64) *Normal {
+	if sigma <= 0 {
+		panic("distgen: NewNormal with non-positive sigma")
+	}
+	return &Normal{Mu: mu, Sigma: sigma, rng: stats.NewRNG(seed)}
+}
+
+// Name implements Generator.
+func (g *Normal) Name() string { return fmt.Sprintf("normal(mu=%.3g,sigma=%.3g)", g.Mu, g.Sigma) }
+
+// Keys implements Generator.
+func (g *Normal) Keys(n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = clampToDomain(g.Mu + g.Sigma*g.rng.NormFloat64())
+	}
+	return out
+}
+
+// Lognormal draws keys whose logarithm is normal — a heavy right tail that
+// mimics, e.g., value sizes and inter-arrival gaps in production traces.
+type Lognormal struct {
+	Mu, Sigma float64 // parameters of the underlying normal
+	Scale     float64 // multiplier applied after exponentiation
+	rng       *stats.RNG
+}
+
+// NewLognormal returns a lognormal generator.
+func NewLognormal(seed uint64, mu, sigma, scale float64) *Lognormal {
+	if sigma <= 0 || scale <= 0 {
+		panic("distgen: NewLognormal with non-positive sigma or scale")
+	}
+	return &Lognormal{Mu: mu, Sigma: sigma, Scale: scale, rng: stats.NewRNG(seed)}
+}
+
+// Name implements Generator.
+func (g *Lognormal) Name() string {
+	return fmt.Sprintf("lognormal(mu=%.3g,sigma=%.3g)", g.Mu, g.Sigma)
+}
+
+// Keys implements Generator.
+func (g *Lognormal) Keys(n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = clampToDomain(g.Scale * exp(g.Mu+g.Sigma*g.rng.NormFloat64()))
+	}
+	return out
+}
+
+// ZipfKeys draws keys whose *frequency* follows a Zipf law over a scrambled
+// universe — hot keys are scattered across the domain, as in YCSB.
+type ZipfKeys struct {
+	Theta    float64
+	Universe uint64
+	sampler  *stats.ScrambledZipf
+}
+
+// NewZipfKeys returns a Zipf-frequency generator over a universe of the
+// given size.
+func NewZipfKeys(seed uint64, theta float64, universe uint64) *ZipfKeys {
+	return &ZipfKeys{
+		Theta:    theta,
+		Universe: universe,
+		sampler:  stats.NewScrambledZipf(stats.NewRNG(seed), theta, universe),
+	}
+}
+
+// Name implements Generator.
+func (g *ZipfKeys) Name() string { return fmt.Sprintf("zipf(theta=%.3g,u=%d)", g.Theta, g.Universe) }
+
+// Keys implements Generator.
+func (g *ZipfKeys) Keys(n int) []uint64 {
+	out := make([]uint64, n)
+	stride := KeyDomain / g.Universe
+	if stride == 0 {
+		stride = 1
+	}
+	for i := range out {
+		out[i] = g.sampler.Next() * stride
+	}
+	return out
+}
+
+// Clustered places keys in tight gaussian clusters around uniformly chosen
+// centers, imitating geographic datasets such as OpenStreetMap cell IDs
+// (the "osm" dataset of the SOSD benchmark).
+type Clustered struct {
+	NumClusters int
+	Spread      float64 // sigma within a cluster, in key units
+	centers     []float64
+	rng         *stats.RNG
+}
+
+// NewClustered returns a clustered generator with the given cluster count
+// and intra-cluster spread.
+func NewClustered(seed uint64, numClusters int, spread float64) *Clustered {
+	if numClusters <= 0 {
+		panic("distgen: NewClustered with non-positive cluster count")
+	}
+	rng := stats.NewRNG(seed)
+	centers := make([]float64, numClusters)
+	for i := range centers {
+		centers[i] = rng.Float64() * float64(KeyDomain)
+	}
+	sort.Float64s(centers)
+	return &Clustered{NumClusters: numClusters, Spread: spread, centers: centers, rng: rng}
+}
+
+// Name implements Generator.
+func (g *Clustered) Name() string {
+	return fmt.Sprintf("clustered(k=%d,spread=%.3g)", g.NumClusters, g.Spread)
+}
+
+// Keys implements Generator.
+func (g *Clustered) Keys(n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		c := g.centers[g.rng.Intn(len(g.centers))]
+		out[i] = clampToDomain(c + g.Spread*g.rng.NormFloat64())
+	}
+	return out
+}
+
+// Segmented produces keys from piecewise-linear CDF segments with very
+// different densities, imitating the "books" dataset (Amazon sales ranks)
+// where ID density varies by region. Hard for a single linear model, easy
+// for a segment-aware learned index.
+type Segmented struct {
+	Segments int
+	bounds   []uint64  // len Segments+1, ascending
+	weights  []float64 // cumulative probability per segment
+	rng      *stats.RNG
+}
+
+// NewSegmented returns a generator with the given number of random-density
+// segments.
+func NewSegmented(seed uint64, segments int) *Segmented {
+	if segments <= 0 {
+		panic("distgen: NewSegmented with non-positive segments")
+	}
+	rng := stats.NewRNG(seed)
+	bounds := make([]uint64, segments+1)
+	bounds[0] = 0
+	bounds[segments] = KeyDomain
+	for i := 1; i < segments; i++ {
+		bounds[i] = rng.Uint64() % KeyDomain
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	// Random segment masses, skewed so a few segments dominate.
+	raw := make([]float64, segments)
+	var total float64
+	for i := range raw {
+		raw[i] = rng.ExpFloat64() * rng.ExpFloat64() // heavy-tailed mass
+		total += raw[i]
+	}
+	weights := make([]float64, segments)
+	cum := 0.0
+	for i := range raw {
+		cum += raw[i] / total
+		weights[i] = cum
+	}
+	weights[segments-1] = 1
+	return &Segmented{Segments: segments, bounds: bounds, weights: weights, rng: rng}
+}
+
+// Name implements Generator.
+func (g *Segmented) Name() string { return fmt.Sprintf("segmented(s=%d)", g.Segments) }
+
+// Keys implements Generator.
+func (g *Segmented) Keys(n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		u := g.rng.Float64()
+		seg := sort.SearchFloat64s(g.weights, u)
+		if seg >= g.Segments {
+			seg = g.Segments - 1
+		}
+		lo, hi := g.bounds[seg], g.bounds[seg+1]
+		if hi <= lo {
+			out[i] = lo
+			continue
+		}
+		out[i] = lo + g.rng.Uint64()%(hi-lo)
+	}
+	return out
+}
+
+// Sequential produces strictly increasing keys with a configurable random
+// gap, imitating auto-increment IDs and timestamp keys — the friendliest
+// case for a learned index.
+type Sequential struct {
+	next   uint64
+	MaxGap uint64
+	rng    *stats.RNG
+}
+
+// NewSequential returns a sequential generator starting at start with gaps
+// uniform in [1, maxGap].
+func NewSequential(seed uint64, start, maxGap uint64) *Sequential {
+	if maxGap == 0 {
+		maxGap = 1
+	}
+	return &Sequential{next: start, MaxGap: maxGap, rng: stats.NewRNG(seed)}
+}
+
+// Name implements Generator.
+func (g *Sequential) Name() string { return fmt.Sprintf("sequential(gap<=%d)", g.MaxGap) }
+
+// Keys implements Generator.
+func (g *Sequential) Keys(n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		g.next += 1 + g.rng.Uint64()%g.MaxGap
+		out[i] = g.next
+	}
+	return out
+}
+
+// Mixture draws from component generators with fixed probabilities. It is
+// the building block for gradual distribution transitions: a drifting
+// workload interpolates the mixture weight from 0 to 1.
+type Mixture struct {
+	Components []Generator
+	Weights    []float64 // must sum to ~1
+	rng        *stats.RNG
+}
+
+// NewMixture returns a mixture of components with the given weights.
+func NewMixture(seed uint64, components []Generator, weights []float64) *Mixture {
+	if len(components) == 0 || len(components) != len(weights) {
+		panic("distgen: NewMixture components/weights mismatch")
+	}
+	var sum float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("distgen: NewMixture negative weight")
+		}
+		sum += w
+	}
+	if sum <= 0 {
+		panic("distgen: NewMixture zero total weight")
+	}
+	norm := make([]float64, len(weights))
+	for i, w := range weights {
+		norm[i] = w / sum
+	}
+	return &Mixture{Components: components, Weights: norm, rng: stats.NewRNG(seed)}
+}
+
+// Name implements Generator.
+func (g *Mixture) Name() string {
+	return fmt.Sprintf("mixture(%d components)", len(g.Components))
+}
+
+// Keys implements Generator.
+func (g *Mixture) Keys(n int) []uint64 {
+	out := make([]uint64, 0, n)
+	for len(out) < n {
+		u := g.rng.Float64()
+		idx := 0
+		cum := 0.0
+		for i, w := range g.Weights {
+			cum += w
+			if u < cum {
+				idx = i
+				break
+			}
+			idx = i
+		}
+		out = append(out, g.Components[idx].Keys(1)[0])
+	}
+	return out
+}
+
+func clampToDomain(x float64) uint64 {
+	if x < 0 {
+		return 0
+	}
+	if x >= float64(KeyDomain) {
+		return KeyDomain - 1
+	}
+	return uint64(x)
+}
+
+// exp is a tiny wrapper to keep math import local to one spot.
+func exp(x float64) float64 {
+	// Guard against overflow for extreme sigma draws.
+	if x > 700 {
+		x = 700
+	}
+	return mathExp(x)
+}

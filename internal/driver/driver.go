@@ -1,0 +1,195 @@
+// Package driver executes workloads against a SUT in *real time* with
+// concurrent workers — the counterpart of the virtual-clock runner in
+// internal/core. The figure experiments use virtual time for determinism;
+// this driver exists for wall-clock validation (the calibration
+// micro-benches), for the network mode (internal/netdriver), and for
+// users who want to benchmark their own real systems.
+package driver
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/distgen"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// sample is one completed operation: its completion offset from run start
+// and its latency, both in nanoseconds.
+type sample struct{ done, latency int64 }
+
+// Options configures a real-time run.
+type Options struct {
+	// Workers is the number of concurrent client goroutines (default 1).
+	Workers int
+	// Ops is the total operation count across workers.
+	Ops int
+	// Seed derives per-worker generator streams.
+	Seed uint64
+	// IntervalNs is the reporting interval (default 100ms wall time).
+	IntervalNs int64
+	// SLANs fixes the SLA threshold; 0 calibrates from the first 1000
+	// completions (20x median).
+	SLANs int64
+}
+
+// Result carries the real-time measurements — the same metric families as
+// the virtual runner, measured with the wall clock.
+type Result struct {
+	SUT        string
+	Completed  int64
+	DurationNs int64
+	Timeline   *metrics.Timeline
+	Cumulative *metrics.CumCurve
+	Bands      *metrics.BandTracker
+	Latency    *metrics.Histogram
+	SLANs      int64
+}
+
+// Throughput returns ops/second of wall time.
+func (r *Result) Throughput() float64 {
+	if r.DurationNs <= 0 {
+		return 0
+	}
+	return float64(r.Completed) / (float64(r.DurationNs) / 1e9)
+}
+
+// lockedSUT serializes access to a non-thread-safe SUT. Contention is part
+// of the measured behaviour, as it would be on a single-writer engine.
+type lockedSUT struct {
+	mu  sync.Mutex
+	sut core.SUT
+}
+
+func (l *lockedSUT) do(op workload.Op) core.OpResult {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sut.Do(op)
+}
+
+// lockedDrift serializes a stateful drift source shared by concurrent
+// workers. (The virtual-clock runner is single-threaded and does not need
+// this; real-time workers do.)
+type lockedDrift struct {
+	mu sync.Mutex
+	d  distgen.Drift
+}
+
+// Name implements distgen.Drift.
+func (l *lockedDrift) Name() string { return l.d.Name() }
+
+// KeysAt implements distgen.Drift.
+func (l *lockedDrift) KeysAt(p float64, n int) []uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.d.KeysAt(p, n)
+}
+
+// Run drives the SUT with Options.Workers concurrent workers issuing
+// Options.Ops operations from the workload spec, measuring real latencies.
+func Run(sut core.SUT, spec workload.Spec, initial distgen.Generator, initialSize int, opts Options) (*Result, error) {
+	if opts.Ops <= 0 {
+		return nil, fmt.Errorf("driver: Ops must be positive")
+	}
+	if spec.Access == nil {
+		return nil, fmt.Errorf("driver: workload needs an access distribution")
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	interval := opts.IntervalNs
+	if interval <= 0 {
+		interval = 100 * time.Millisecond.Nanoseconds()
+	}
+
+	if initialSize > 0 && initial != nil {
+		keys := distgen.UniqueKeys(initial, initialSize)
+		values := make([]uint64, len(keys))
+		for i, k := range keys {
+			values[i] = k ^ 0xDEADBEEF
+		}
+		sut.Load(keys, values)
+	}
+
+	locked := &lockedSUT{sut: sut}
+
+	// Workers share the spec's stateful key sources; guard them.
+	spec.Access = &lockedDrift{d: spec.Access}
+	if spec.InsertKeys != nil {
+		spec.InsertKeys = &lockedDrift{d: spec.InsertKeys}
+	}
+
+	results := make(chan []sample, workers)
+	perWorker := opts.Ops / workers
+	extra := opts.Ops % workers
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		n := perWorker
+		if w < extra {
+			n++
+		}
+		wg.Add(1)
+		go func(id, n int) {
+			defer wg.Done()
+			gen := workload.NewGenerator(spec, opts.Seed+uint64(id)*7919+1)
+			out := make([]sample, 0, n)
+			for i := 0; i < n; i++ {
+				op := gen.Next(float64(i) / float64(n))
+				t0 := time.Now()
+				locked.do(op)
+				t1 := time.Now()
+				out = append(out, sample{
+					done:    t1.Sub(start).Nanoseconds(),
+					latency: t1.Sub(t0).Nanoseconds(),
+				})
+			}
+			results <- out
+		}(w, n)
+	}
+	wg.Wait()
+	close(results)
+
+	// Merge worker samples in completion order.
+	var all []sample
+	for out := range results {
+		all = append(all, out...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].done < all[j].done })
+
+	res := &Result{
+		SUT:        sut.Name(),
+		Timeline:   metrics.NewTimeline(interval),
+		Cumulative: &metrics.CumCurve{},
+		Latency:    metrics.NewHistogram(),
+	}
+	sla := opts.SLANs
+	if sla == 0 {
+		h := metrics.NewHistogram()
+		n := len(all)
+		if n > 1000 {
+			n = 1000
+		}
+		for _, s := range all[:n] {
+			h.Record(s.latency)
+		}
+		sla = metrics.CalibrateSLA(h, 0.5, 20)
+	}
+	res.SLANs = sla
+	res.Bands = metrics.NewBandTracker(sla, interval)
+	for i, s := range all {
+		res.Cumulative.Add(s.done, int64(i+1))
+		res.Timeline.Record(s.done, s.latency)
+		res.Latency.Record(s.latency)
+		res.Bands.Record(s.done, s.latency)
+	}
+	res.Completed = int64(len(all))
+	res.DurationNs = time.Since(start).Nanoseconds()
+	return res, nil
+}

@@ -1,0 +1,89 @@
+package driver
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/distgen"
+	"repro/internal/workload"
+)
+
+func specFor(seed uint64) workload.Spec {
+	return workload.Spec{
+		Mix:    workload.Balanced,
+		Access: distgen.Static{G: distgen.NewUniform(seed, 0, 1<<40)},
+	}
+}
+
+func TestRunSingleWorker(t *testing.T) {
+	res, err := Run(core.NewBTreeSUT(), specFor(1),
+		distgen.NewUniform(2, 0, 1<<40), 5000,
+		Options{Workers: 1, Ops: 3000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 3000 {
+		t.Fatalf("completed = %d", res.Completed)
+	}
+	if res.DurationNs <= 0 || res.Throughput() <= 0 {
+		t.Fatal("no wall time measured")
+	}
+	if res.Latency.Count() != 3000 || res.Cumulative.Total() != 3000 {
+		t.Fatal("metrics incomplete")
+	}
+	if res.SLANs <= 0 {
+		t.Fatal("no SLA calibrated")
+	}
+}
+
+func TestRunConcurrentWorkers(t *testing.T) {
+	res, err := Run(core.NewALEXSUT(), specFor(4),
+		distgen.NewUniform(5, 0, 1<<40), 2000,
+		Options{Workers: 8, Ops: 8000, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 8000 {
+		t.Fatalf("completed = %d", res.Completed)
+	}
+	// Cumulative curve must be monotone despite concurrent completion.
+	prev := int64(-1)
+	res.Cumulative.Points(func(tm, c int64) {
+		if tm < prev {
+			t.Fatal("curve times out of order")
+		}
+		prev = tm
+	})
+}
+
+func TestRunUnevenSplit(t *testing.T) {
+	res, err := Run(core.NewHashSUT(), specFor(7), nil, 0,
+		Options{Workers: 3, Ops: 100, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 100 {
+		t.Fatalf("completed = %d, want all ops despite uneven split", res.Completed)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(core.NewBTreeSUT(), specFor(1), nil, 0, Options{Ops: 0}); err == nil {
+		t.Fatal("zero ops accepted")
+	}
+	if _, err := Run(core.NewBTreeSUT(), workload.Spec{Mix: workload.ReadHeavy}, nil, 0,
+		Options{Ops: 10}); err == nil {
+		t.Fatal("missing access distribution accepted")
+	}
+}
+
+func TestRunFixedSLA(t *testing.T) {
+	res, err := Run(core.NewBTreeSUT(), specFor(9), nil, 0,
+		Options{Ops: 500, SLANs: 5_000_000, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SLANs != 5_000_000 {
+		t.Fatalf("sla = %d", res.SLANs)
+	}
+}

@@ -1,0 +1,38 @@
+package figures
+
+import "testing"
+
+func TestCacheExperimentShape(t *testing.T) {
+	res := CacheExperiment(SmallScale(), 31)
+	wantTraces := []string{"stable-zipf", "zipf+scans", "moving-hotspot"}
+	for _, tr := range wantTraces {
+		row, ok := res.HitRate[tr]
+		if !ok {
+			t.Fatalf("missing trace %s", tr)
+		}
+		belady := res.Belady[tr]
+		if belady <= 0 || belady > 1 {
+			t.Fatalf("%s: belady = %v", tr, belady)
+		}
+		for policy, hr := range row {
+			if hr < 0 || hr > belady+1e-9 {
+				t.Fatalf("%s/%s: hit rate %v vs belady %v", tr, policy, hr, belady)
+			}
+		}
+		if res.LearnedTrainWork[tr] <= 0 {
+			t.Fatalf("%s: no learned training work", tr)
+		}
+	}
+	// Headline: the learned policy beats LRU under scan pollution.
+	scans := res.HitRate["zipf+scans"]
+	if scans["learned"] <= scans["lru"] {
+		t.Fatalf("learned (%v) must beat lru (%v) under scan pollution",
+			scans["learned"], scans["lru"])
+	}
+	// And no policy collapses on the drifting hotspot (adaptability).
+	for policy, hr := range res.HitRate["moving-hotspot"] {
+		if hr < 0.3 {
+			t.Fatalf("%s collapsed on moving hotspot: %v", policy, hr)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+// Package figures implements the paper's evaluation artifacts end to end:
+// each ExperimentX function builds the workloads, runs the systems under
+// test on the virtual clock, and returns the exact data series of the
+// corresponding panel of Figure 1 (plus the Lesson ablations), ready for
+// the report package, the root bench harness, and cmd/figures.
+package figures
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/distgen"
+	"repro/internal/report"
+	"repro/internal/similarity"
+	"repro/internal/workload"
+)
+
+// Scale controls experiment size so the same code serves quick tests and
+// full runs.
+type Scale struct {
+	// DataSize is the initial database size per scenario.
+	DataSize int
+	// Ops is the operation count per phase.
+	Ops int
+	// IntervalNs is the reporting interval.
+	IntervalNs int64
+}
+
+// SmallScale keeps experiments under a second for tests.
+func SmallScale() Scale { return Scale{DataSize: 20000, Ops: 10000, IntervalNs: 200_000} }
+
+// FullScale is used by cmd/figures and the bench harness.
+func FullScale() Scale { return Scale{DataSize: 200000, Ops: 100000, IntervalNs: 1_000_000} }
+
+// DistCase is one workload/data distribution of the Figure 1a sweep.
+type DistCase struct {
+	Name    string
+	Gen     func(seed uint64) distgen.Generator
+	Holdout bool
+}
+
+// Fig1aCases returns the standard distribution sweep: the uniform baseline
+// plus progressively stranger distributions, and one hold-out the SUTs see
+// exactly once.
+func Fig1aCases() []DistCase {
+	return []DistCase{
+		{Name: "uniform", Gen: func(s uint64) distgen.Generator {
+			return distgen.NewUniform(s, 0, distgen.KeyDomain)
+		}},
+		{Name: "sequential", Gen: func(s uint64) distgen.Generator {
+			return distgen.NewSequential(s, 1<<20, 64)
+		}},
+		{Name: "normal", Gen: func(s uint64) distgen.Generator {
+			return distgen.NewNormal(s, float64(distgen.KeyDomain)/2, float64(distgen.KeyDomain)/64)
+		}},
+		{Name: "lognormal", Gen: func(s uint64) distgen.Generator {
+			return distgen.NewLognormal(s, 0, 2, 1e12)
+		}},
+		{Name: "zipf", Gen: func(s uint64) distgen.Generator {
+			return distgen.NewZipfKeys(s, 1.1, 1<<22)
+		}},
+		{Name: "clustered-osm", Gen: func(s uint64) distgen.Generator {
+			return distgen.NewClustered(s, 40, float64(distgen.KeyDomain)/1e6)
+		}},
+		{Name: "segmented-books", Gen: func(s uint64) distgen.Generator {
+			return distgen.NewSegmented(s, 32)
+		}},
+		{Name: "email", Gen: func(s uint64) distgen.Generator {
+			return distgen.NewEmail(s)
+		}},
+		{Name: "holdout-mix", Holdout: true, Gen: func(s uint64) distgen.Generator {
+			return distgen.NewMixture(s, []distgen.Generator{
+				distgen.NewClustered(s+1, 7, float64(distgen.KeyDomain)/1e5),
+				distgen.NewLognormal(s+2, 1, 1.5, 1e13),
+			}, []float64{0.6, 0.4})
+		}},
+	}
+}
+
+// Fig1aResult maps SUT name -> box rows sorted by Φ, plus the raw Φ values
+// per distribution.
+type Fig1aResult struct {
+	Rows map[string][]report.BoxRow
+	Phi  map[string]float64
+}
+
+// Fig1a runs the specialization experiment: every SUT on every
+// distribution, reporting per-interval throughput box statistics with the
+// X-axis position given by the KS distance Φ from the uniform baseline.
+func Fig1a(scale Scale, seed uint64) (*Fig1aResult, error) {
+	cases := Fig1aCases()
+	runner := core.NewRunner()
+
+	// Φ: KS distance of each distribution's key sample from the baseline.
+	base := cases[0].Gen(seed + 1000).Keys(4096)
+	phi := make(map[string]float64, len(cases))
+	for _, c := range cases {
+		phi[c.Name] = similarity.KS(base, c.Gen(seed+2000).Keys(4096))
+	}
+
+	res := &Fig1aResult{Rows: make(map[string][]report.BoxRow), Phi: phi}
+	for _, c := range cases {
+		scenario := core.Scenario{
+			Name:        "fig1a-" + c.Name,
+			Seed:        seed,
+			InitialData: c.Gen(seed + 1),
+			InitialSize: scale.DataSize,
+			TrainBefore: true,
+			IntervalNs:  scale.IntervalNs,
+			Phases: []core.Phase{{
+				Name: "steady",
+				Ops:  scale.Ops,
+				Workload: workload.Spec{
+					Mix:    workload.ReadHeavy,
+					Access: distgen.Static{G: c.Gen(seed + 2)},
+				},
+			}},
+		}
+		results, err := runner.RunAll(scenario, core.StandardSUTs())
+		if err != nil {
+			return nil, fmt.Errorf("figures: fig1a %s: %w", c.Name, err)
+		}
+		for _, r := range results {
+			res.Rows[r.SUT] = append(res.Rows[r.SUT], report.BoxRow{
+				Label:   c.Name,
+				Phi:     phi[c.Name],
+				Summary: r.Timeline.ThroughputSummary(),
+				Holdout: c.Holdout,
+			})
+		}
+	}
+	return res, nil
+}

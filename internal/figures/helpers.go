@@ -1,0 +1,11 @@
+package figures
+
+import "repro/internal/cost"
+
+// modelWithDBARate returns the default cost model with the DBA hourly rate
+// overridden — the Lesson 4 sweep variable.
+func modelWithDBARate(rate float64) cost.Model {
+	m := cost.DefaultModel()
+	m.DBADollarsPerH = rate
+	return m
+}

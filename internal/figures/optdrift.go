@@ -1,0 +1,146 @@
+package figures
+
+import (
+	"fmt"
+
+	"repro/internal/card"
+	"repro/internal/core"
+	"repro/internal/optimizer"
+	"repro/internal/sim"
+	"repro/internal/sqlmini"
+	"repro/internal/stats"
+)
+
+// OptDriftResult compares query-optimization SUTs on a drifting database:
+// a histogram-driven static optimizer (stale after drift), the same with a
+// scheduled re-ANALYZE, and a learned steered optimizer with online
+// cardinality feedback. It exercises every §V-D metric on the SQL
+// substrate.
+type OptDriftResult struct {
+	Results map[string]*core.SQLRunResult
+	// AdjustmentSpeed per system: over-SLA time after the drift.
+	AdjustmentSpeed map[string]int64
+}
+
+// optDriftDB builds the star database whose fact-table value column
+// shifts mid-run, invalidating analyzed statistics.
+type optDriftDB struct {
+	dim, fact *sqlmini.Table
+	rng       *stats.RNG
+}
+
+func newOptDriftDB(scale Scale, seed uint64) *optDriftDB {
+	db := &optDriftDB{rng: stats.NewRNG(seed)}
+	db.dim = sqlmini.NewTable("dim", "id", "kind")
+	dimRows := 200
+	for i := 0; i < dimRows; i++ {
+		db.dim.Append(uint64(i), uint64(i%10))
+	}
+	db.fact = sqlmini.NewTable("fact", "fid", "dimid", "val")
+	factRows := scale.DataSize / 4
+	z := stats.NewZipf(db.rng.Split(), 1.1, 1000)
+	for i := 0; i < factRows; i++ {
+		db.fact.Append(uint64(i), uint64(i%dimRows), z.Next())
+	}
+	return db
+}
+
+// shift moves the fact.val distribution up by 4096 — every analyzed
+// histogram and trained model is now wrong about val predicates.
+func (db *optDriftDB) shift() {
+	rows := make([][]uint64, len(db.fact.Rows))
+	for i, r := range db.fact.Rows {
+		rows[i] = []uint64{r[0], r[1], r[2] + 4096}
+	}
+	db.fact.ReplaceRows(rows)
+}
+
+// query returns the i-th workload query: join dim-fact with a selective
+// val range whose location tracks the *current* distribution (clients ask
+// about data that exists), so after the shift the predicate constants move
+// with it — but the static optimizer's statistics do not.
+func (db *optDriftDB) query(shifted bool) optimizer.Query {
+	base := db.rng.Uint64() % 64
+	if shifted {
+		base += 4096
+	}
+	return optimizer.Query{
+		Tables: []*sqlmini.Table{db.dim, db.fact},
+		Preds: map[string][]sqlmini.Predicate{
+			"dim":  {{Column: "kind", Op: sqlmini.Eq, Value: db.rng.Uint64() % 10}},
+			"fact": {{Column: "val", Op: sqlmini.Between, Value: base, Hi: base + 32}},
+		},
+		Joins: []optimizer.JoinEdge{{
+			LeftTable: "dim", LeftCol: "id", RightTable: "fact", RightCol: "dimid",
+		}},
+	}
+}
+
+// OptDrift runs the learned-query-optimizer drift experiment.
+func OptDrift(scale Scale, seed uint64) (*OptDriftResult, error) {
+	n := scale.Ops / 10
+	if n < 200 {
+		n = 200
+	}
+	out := &OptDriftResult{
+		Results:         make(map[string]*core.SQLRunResult),
+		AdjustmentSpeed: make(map[string]int64),
+	}
+
+	type sutCfg struct {
+		name  string
+		build func(db *optDriftDB) core.QuerySystem
+	}
+	cfgs := []sutCfg{
+		{name: "static-histogram", build: func(db *optDriftDB) core.QuerySystem {
+			h := card.NewHistogram(64)
+			h.Analyze(db.dim)
+			h.Analyze(db.fact)
+			return &core.StaticOptimizer{Label: "static-histogram", Est: h, Hint: optimizer.HintDefault}
+		}},
+		{name: "learned-steered", build: func(db *optDriftDB) core.QuerySystem {
+			l := card.NewLearned()
+			l.ObserveTable(db.dim)
+			l.ObserveTable(db.fact)
+			return &core.SteeredOptimizer{
+				Label:         "learned-steered",
+				Est:           l,
+				Steering:      optimizer.NewSteering(0.5),
+				FeedbackEvery: 2,
+			}
+		}},
+	}
+
+	for _, cfg := range cfgs {
+		db := newOptDriftDB(scale, seed)
+		shifted := false
+		scenario := core.SQLScenario{
+			Name: "optdrift",
+			N:    n,
+			Queries: func(i, total int) optimizer.Query {
+				return db.query(shifted)
+			},
+			MutateAt: 0.5,
+			Mutate: func() {
+				db.shift()
+				shifted = true
+			},
+			IntervalNs: scale.IntervalNs * 10,
+		}
+		res, err := core.RunSQL(scenario, cfg.build(db), sim.DefaultCostModel())
+		if err != nil {
+			return nil, fmt.Errorf("figures: optdrift %s: %w", cfg.name, err)
+		}
+		out.Results[cfg.name] = res
+		if len(res.PostChangeLatencies) > 0 {
+			var over int64
+			for _, l := range res.PostChangeLatencies {
+				if l > res.SLANs {
+					over += l - res.SLANs
+				}
+			}
+			out.AdjustmentSpeed[cfg.name] = over
+		}
+	}
+	return out, nil
+}

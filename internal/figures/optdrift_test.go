@@ -1,0 +1,44 @@
+package figures
+
+import "testing"
+
+func TestOptDriftShape(t *testing.T) {
+	res, err := OptDrift(SmallScale(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, ok := res.Results["static-histogram"]
+	if !ok {
+		t.Fatal("missing static system")
+	}
+	learned, ok := res.Results["learned-steered"]
+	if !ok {
+		t.Fatal("missing learned system")
+	}
+	if static.Completed != learned.Completed {
+		t.Fatal("unequal query counts")
+	}
+	if learned.TrainWork <= 0 {
+		t.Fatal("learned system reports no training work")
+	}
+	if static.TrainWork != 0 {
+		t.Fatal("static system reports training work")
+	}
+	// Both have a change instant and post-change data.
+	for name, r := range res.Results {
+		if r.ChangeAt <= 0 {
+			t.Fatalf("%s: no change instant", name)
+		}
+		if len(r.PostChangeLatencies) == 0 {
+			t.Fatalf("%s: no post-change latencies", name)
+		}
+	}
+	// The headline: after drift, the learned/steered optimizer ends up
+	// completing the run in less virtual time than the stale static one
+	// (it adapts; the static one keeps choosing plans from wrong
+	// statistics).
+	if learned.DurationNs >= static.DurationNs {
+		t.Fatalf("learned (%d ns) not faster than stale static (%d ns)",
+			learned.DurationNs, static.DurationNs)
+	}
+}

@@ -1,0 +1,54 @@
+package figures
+
+import (
+	"repro/internal/sched"
+)
+
+// SchedResult compares scheduling policies on a drifting job workload —
+// the learned-scheduling component the paper cites (Mao et al. [30]):
+// per-type job durations permute at the midpoint, so estimates trained
+// before the drift mislead.
+type SchedResult struct {
+	// MeanSojournNs per policy.
+	MeanSojournNs map[string]float64
+	// P99SojournNs per policy.
+	P99SojournNs map[string]int64
+	// TrainWork per policy (online model updates).
+	TrainWork map[string]int64
+}
+
+// SchedExperiment runs FIFO, the offline oracle, a statically-trained
+// SJF, and the online-learned SJF over the same drifting trace.
+func SchedExperiment(scale Scale, seed uint64) *SchedResult {
+	jobs := sched.GenerateJobs(sched.WorkloadOptions{
+		Jobs:      scale.Ops,
+		Types:     6,
+		MeanGapNs: 120_000,
+		DriftAt:   0.5,
+		Seed:      seed,
+	})
+	// Static SJF trains on a pre-drift sample — the separate training
+	// phase of §V-B (its labels are stale after the permutation).
+	trainN := scale.Ops / 10
+	if trainN < 100 {
+		trainN = 100
+	}
+	policies := []sched.Policy{
+		sched.FIFO{},
+		sched.OracleSJF{},
+		sched.NewStaticSJF(jobs[:trainN]),
+		sched.NewLearnedSJF(0),
+	}
+	out := &SchedResult{
+		MeanSojournNs: make(map[string]float64),
+		P99SojournNs:  make(map[string]int64),
+		TrainWork:     make(map[string]int64),
+	}
+	for _, p := range policies {
+		res := sched.Simulate(jobs, p)
+		out.MeanSojournNs[res.Policy] = res.MeanSojournNs
+		out.P99SojournNs[res.Policy] = res.Sojourn.Quantile(0.99)
+		out.TrainWork[res.Policy] = res.TrainWork
+	}
+	return out
+}

@@ -1,0 +1,36 @@
+package figures
+
+import "testing"
+
+func TestSchedExperimentShape(t *testing.T) {
+	res := SchedExperiment(SmallScale(), 41)
+	for _, policy := range []string{"fifo", "oracle-sjf", "static-sjf", "learned-sjf"} {
+		if res.MeanSojournNs[policy] <= 0 {
+			t.Fatalf("%s: no sojourn measured", policy)
+		}
+		if res.P99SojournNs[policy] <= 0 {
+			t.Fatalf("%s: no p99", policy)
+		}
+	}
+	// Structural ordering on the drifting trace:
+	// oracle <= learned < static (stale) and oracle <= learned < fifo.
+	oracle := res.MeanSojournNs["oracle-sjf"]
+	learned := res.MeanSojournNs["learned-sjf"]
+	static := res.MeanSojournNs["static-sjf"]
+	fifo := res.MeanSojournNs["fifo"]
+	if oracle > learned {
+		t.Fatalf("oracle (%v) above learned (%v)", oracle, learned)
+	}
+	if learned >= static {
+		t.Fatalf("learned (%v) not below stale static (%v)", learned, static)
+	}
+	if learned >= fifo {
+		t.Fatalf("learned (%v) not below fifo (%v)", learned, fifo)
+	}
+	if res.TrainWork["learned-sjf"] <= 0 {
+		t.Fatal("learned policy reported no training work")
+	}
+	if res.TrainWork["static-sjf"] != 0 {
+		t.Fatal("static policy reported online training work")
+	}
+}

@@ -1,0 +1,336 @@
+// Package btree implements an in-memory B+ tree over uint64 keys and
+// values. It is the traditional-index baseline of the benchmark: no model,
+// no training phase, stable O(log n) performance regardless of the data
+// distribution — exactly the profile learned indexes are compared against.
+package btree
+
+import (
+	"sort"
+
+	"repro/internal/index"
+)
+
+// DefaultOrder is the fan-out used by New. 64 keys per node keeps inner
+// nodes around one cache line's worth of separators while staying readable.
+const DefaultOrder = 64
+
+// Tree is a B+ tree. The zero value is not usable; call New. Not safe for
+// concurrent use.
+type Tree struct {
+	order int
+	root  node
+	size  int
+	stats index.Stats
+}
+
+type node interface {
+	// insert returns a new right sibling and its separator key when the
+	// node split, else nil.
+	insert(t *Tree, key, value uint64) (node, uint64, bool)
+	get(t *Tree, key uint64) (uint64, bool)
+	// delete reports whether the key existed.
+	delete(key uint64) bool
+}
+
+type inner struct {
+	keys     []uint64 // separator keys; child i holds keys < keys[i]
+	children []node
+}
+
+type leaf struct {
+	keys   []uint64
+	values []uint64
+	next   *leaf
+}
+
+// New returns an empty B+ tree with the given order (max keys per leaf).
+// Orders below 4 are raised to 4.
+func New(order int) *Tree {
+	if order < 4 {
+		order = 4
+	}
+	return &Tree{order: order, root: &leaf{}}
+}
+
+// NewDefault returns an empty B+ tree with DefaultOrder.
+func NewDefault() *Tree { return New(DefaultOrder) }
+
+// Name implements index.Ordered.
+func (t *Tree) Name() string { return "btree" }
+
+// Len implements index.Ordered.
+func (t *Tree) Len() int { return t.size }
+
+// Stats implements index.Instrumented.
+func (t *Tree) Stats() index.Stats { return t.stats }
+
+// Get implements index.Ordered.
+func (t *Tree) Get(key uint64) (uint64, bool) {
+	t.stats.Searches++
+	return t.root.get(t, key)
+}
+
+// Insert implements index.Ordered.
+func (t *Tree) Insert(key, value uint64) {
+	right, sep, added := t.root.insert(t, key, value)
+	if added {
+		t.size++
+	}
+	if right != nil {
+		t.stats.Splits++
+		t.root = &inner{keys: []uint64{sep}, children: []node{t.root, right}}
+	}
+}
+
+// Delete implements index.Ordered. Deletion uses lazy rebalancing: keys are
+// removed from leaves but underfull nodes are not merged. For benchmark
+// workloads (delete share well below insert share) this bounds complexity
+// without affecting asymptotics; Len stays exact.
+func (t *Tree) Delete(key uint64) bool {
+	if t.root.delete(key) {
+		t.size--
+		return true
+	}
+	return false
+}
+
+func (n *inner) childFor(t *Tree, key uint64) (int, node) {
+	t.stats.Compares += uint64(bits(len(n.keys)))
+	i := sort.Search(len(n.keys), func(i int) bool { return key < n.keys[i] })
+	return i, n.children[i]
+}
+
+func bits(n int) int {
+	b := 1
+	for n > 1 {
+		n >>= 1
+		b++
+	}
+	return b
+}
+
+func (n *inner) get(t *Tree, key uint64) (uint64, bool) {
+	_, c := n.childFor(t, key)
+	return c.get(t, key)
+}
+
+func (n *inner) insert(t *Tree, key, value uint64) (node, uint64, bool) {
+	i, c := n.childFor(t, key)
+	right, sep, added := c.insert(t, key, value)
+	if right == nil {
+		return nil, 0, added
+	}
+	t.stats.Splits++
+	// Splice the new child in at position i.
+	n.keys = append(n.keys, 0)
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = sep
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+
+	if len(n.keys) <= t.order {
+		return nil, 0, added
+	}
+	// Split this inner node: middle separator moves up.
+	mid := len(n.keys) / 2
+	upKey := n.keys[mid]
+	r := &inner{
+		keys:     append([]uint64(nil), n.keys[mid+1:]...),
+		children: append([]node(nil), n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid]
+	n.children = n.children[:mid+1]
+	return r, upKey, added
+}
+
+func (n *inner) delete(key uint64) bool {
+	i := sort.Search(len(n.keys), func(i int) bool { return key < n.keys[i] })
+	return n.children[i].delete(key)
+}
+
+func (l *leaf) find(t *Tree, key uint64) (int, bool) {
+	if t != nil {
+		t.stats.Compares += uint64(bits(len(l.keys)))
+	}
+	i := sort.Search(len(l.keys), func(i int) bool { return l.keys[i] >= key })
+	return i, i < len(l.keys) && l.keys[i] == key
+}
+
+func (l *leaf) get(t *Tree, key uint64) (uint64, bool) {
+	i, ok := l.find(t, key)
+	if !ok {
+		return 0, false
+	}
+	return l.values[i], true
+}
+
+func (l *leaf) insert(t *Tree, key, value uint64) (node, uint64, bool) {
+	i, ok := l.find(t, key)
+	if ok {
+		l.values[i] = value
+		return nil, 0, false
+	}
+	l.keys = append(l.keys, 0)
+	copy(l.keys[i+1:], l.keys[i:])
+	l.keys[i] = key
+	l.values = append(l.values, 0)
+	copy(l.values[i+1:], l.values[i:])
+	l.values[i] = value
+
+	if len(l.keys) <= t.order {
+		return nil, 0, true
+	}
+	mid := len(l.keys) / 2
+	r := &leaf{
+		keys:   append([]uint64(nil), l.keys[mid:]...),
+		values: append([]uint64(nil), l.values[mid:]...),
+		next:   l.next,
+	}
+	l.keys = l.keys[:mid]
+	l.values = l.values[:mid]
+	l.next = r
+	return r, r.keys[0], true
+}
+
+func (l *leaf) delete(key uint64) bool {
+	i, ok := l.find(nil, key)
+	if !ok {
+		return false
+	}
+	l.keys = append(l.keys[:i], l.keys[i+1:]...)
+	l.values = append(l.values[:i], l.values[i+1:]...)
+	return true
+}
+
+// leafFor descends to the leaf that would contain key.
+func (t *Tree) leafFor(key uint64) *leaf {
+	n := t.root
+	for {
+		switch v := n.(type) {
+		case *leaf:
+			return v
+		case *inner:
+			_, n = v.childFor(t, key)
+		}
+	}
+}
+
+// Scan implements index.Ordered.
+func (t *Tree) Scan(lo, hi uint64, fn func(key, value uint64) bool) int {
+	if hi < lo {
+		return 0
+	}
+	l := t.leafFor(lo)
+	visited := 0
+	for l != nil {
+		i, _ := l.find(t, lo)
+		for ; i < len(l.keys); i++ {
+			if l.keys[i] > hi {
+				return visited
+			}
+			visited++
+			if !fn(l.keys[i], l.values[i]) {
+				return visited
+			}
+		}
+		l = l.next
+		lo = 0 // after the first leaf, start at its beginning
+	}
+	return visited
+}
+
+// BulkLoad implements index.BulkLoader: builds the tree bottom-up from
+// strictly ascending keys in O(n).
+func (t *Tree) BulkLoad(keys, values []uint64) {
+	if len(keys) != len(values) {
+		panic("btree: BulkLoad length mismatch")
+	}
+	t.size = len(keys)
+	t.stats = index.Stats{}
+	if len(keys) == 0 {
+		t.root = &leaf{}
+		return
+	}
+	// Fill leaves to ~75% of order so early inserts don't cascade splits.
+	per := t.order * 3 / 4
+	if per < 2 {
+		per = 2
+	}
+	var leaves []node
+	var seps []uint64 // first key of each leaf except the first
+	var prev *leaf
+	for i := 0; i < len(keys); i += per {
+		end := i + per
+		if end > len(keys) {
+			end = len(keys)
+		}
+		lf := &leaf{
+			keys:   append([]uint64(nil), keys[i:end]...),
+			values: append([]uint64(nil), values[i:end]...),
+		}
+		if prev != nil {
+			prev.next = lf
+			seps = append(seps, lf.keys[0])
+		}
+		prev = lf
+		leaves = append(leaves, lf)
+	}
+	t.root = buildLevel(leaves, seps, t.order)
+}
+
+// buildLevel assembles parents over children until a single root remains.
+func buildLevel(children []node, seps []uint64, order int) node {
+	for len(children) > 1 {
+		per := order * 3 / 4
+		if per < 2 {
+			per = 2
+		}
+		var parents []node
+		var parentSeps []uint64
+		for i := 0; i < len(children); i += per + 1 {
+			end := i + per + 1
+			if end > len(children) {
+				end = len(children)
+			}
+			in := &inner{
+				children: append([]node(nil), children[i:end]...),
+			}
+			if end-i-1 > 0 {
+				in.keys = append([]uint64(nil), seps[i:i+end-i-1]...)
+			}
+			if i > 0 {
+				parentSeps = append(parentSeps, seps[i-1])
+			}
+			parents = append(parents, in)
+		}
+		children, seps = parents, parentSeps
+	}
+	return children[0]
+}
+
+// Min returns the smallest key and true, or false when empty.
+func (t *Tree) Min() (uint64, bool) {
+	n := t.root
+	for {
+		switch v := n.(type) {
+		case *leaf:
+			if len(v.keys) == 0 {
+				// Lazy deletes can empty a leaf; walk the chain.
+				for v != nil && len(v.keys) == 0 {
+					v = v.next
+				}
+				if v == nil {
+					return 0, false
+				}
+			}
+			return v.keys[0], true
+		case *inner:
+			n = v.children[0]
+		}
+	}
+}
+
+var _ index.Ordered = (*Tree)(nil)
+var _ index.BulkLoader = (*Tree)(nil)
+var _ index.Instrumented = (*Tree)(nil)

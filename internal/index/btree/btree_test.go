@@ -1,0 +1,135 @@
+package btree
+
+import (
+	"testing"
+
+	"repro/internal/distgen"
+	"repro/internal/index"
+	"repro/internal/index/indextest"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.Run(t, func() index.Ordered { return NewDefault() })
+}
+
+func TestSmallOrderConformance(t *testing.T) {
+	// Order 4 forces deep trees and frequent splits.
+	indextest.Run(t, func() index.Ordered { return New(4) })
+}
+
+func TestOrderClamped(t *testing.T) {
+	tr := New(1)
+	for k := uint64(0); k < 100; k++ {
+		tr.Insert(k, k)
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestMin(t *testing.T) {
+	tr := NewDefault()
+	if _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty tree")
+	}
+	tr.Insert(50, 1)
+	tr.Insert(10, 2)
+	tr.Insert(90, 3)
+	if m, ok := tr.Min(); !ok || m != 10 {
+		t.Fatalf("Min = %d,%v", m, ok)
+	}
+	tr.Delete(10)
+	if m, ok := tr.Min(); !ok || m != 50 {
+		t.Fatalf("Min after delete = %d,%v", m, ok)
+	}
+}
+
+func TestBulkLoadMatchesInserts(t *testing.T) {
+	keys := distgen.UniqueKeys(distgen.NewZipfKeys(7, 1.1, 100000), 20000)
+	vals := make([]uint64, len(keys))
+	for i := range vals {
+		vals[i] = uint64(i)
+	}
+	bulk := NewDefault()
+	bulk.BulkLoad(keys, vals)
+	incr := NewDefault()
+	for i, k := range keys {
+		incr.Insert(k, vals[i])
+	}
+	if bulk.Len() != incr.Len() {
+		t.Fatalf("len mismatch: %d vs %d", bulk.Len(), incr.Len())
+	}
+	for i, k := range keys {
+		bv, bok := bulk.Get(k)
+		iv, iok := incr.Get(k)
+		if !bok || !iok || bv != iv || bv != vals[i] {
+			t.Fatalf("mismatch at key %d", k)
+		}
+	}
+	// Scans agree.
+	var a, b []uint64
+	bulk.Scan(keys[100], keys[10000], func(k, _ uint64) bool { a = append(a, k); return true })
+	incr.Scan(keys[100], keys[10000], func(k, _ uint64) bool { b = append(b, k); return true })
+	if len(a) != len(b) {
+		t.Fatalf("scan lengths differ: %d vs %d", len(a), len(b))
+	}
+}
+
+func TestBulkLoadEmpty(t *testing.T) {
+	tr := NewDefault()
+	tr.Insert(1, 1)
+	tr.BulkLoad(nil, nil)
+	if tr.Len() != 0 {
+		t.Fatal("BulkLoad(nil) did not clear")
+	}
+	tr.Insert(5, 5)
+	if v, ok := tr.Get(5); !ok || v != 5 {
+		t.Fatal("tree unusable after empty BulkLoad")
+	}
+}
+
+func TestBulkLoadPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewDefault().BulkLoad([]uint64{1, 2}, []uint64{1})
+}
+
+func TestStatsProgress(t *testing.T) {
+	tr := New(4)
+	for k := uint64(0); k < 1000; k++ {
+		tr.Insert(k, k)
+	}
+	for k := uint64(0); k < 1000; k++ {
+		tr.Get(k)
+	}
+	st := tr.Stats()
+	if st.Searches != 1000 {
+		t.Fatalf("searches = %d", st.Searches)
+	}
+	if st.Splits == 0 {
+		t.Fatal("no splits recorded for order-4 tree with 1000 keys")
+	}
+	if st.Compares == 0 {
+		t.Fatal("no compares recorded")
+	}
+}
+
+func TestDeleteDoesNotBreakScans(t *testing.T) {
+	tr := New(4)
+	for k := uint64(0); k < 2000; k++ {
+		tr.Insert(k, k)
+	}
+	// Delete a whole leaf's worth in the middle.
+	for k := uint64(500); k < 600; k++ {
+		tr.Delete(k)
+	}
+	var got []uint64
+	tr.Scan(450, 650, func(k, _ uint64) bool { got = append(got, k); return true })
+	want := 201 - 100 // [450,650] minus deleted [500,599]
+	if len(got) != want {
+		t.Fatalf("scan after deletes visited %d, want %d", len(got), want)
+	}
+}

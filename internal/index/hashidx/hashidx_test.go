@@ -1,0 +1,93 @@
+package hashidx
+
+import (
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/index/indextest"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.Run(t, func() index.Ordered { return New() })
+}
+
+func TestDirectoryGrowth(t *testing.T) {
+	ix := New()
+	for k := uint64(0); k < 100000; k++ {
+		ix.Insert(k, k)
+	}
+	if ix.Len() != 100000 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	if ix.globalDepth == 0 {
+		t.Fatal("directory never grew")
+	}
+	for _, k := range []uint64{0, 50000, 99999} {
+		if v, ok := ix.Get(k); !ok || v != k {
+			t.Fatalf("Get(%d) failed after growth", k)
+		}
+	}
+	if ix.Stats().Splits == 0 {
+		t.Fatal("no splits recorded")
+	}
+}
+
+func TestBucketInvariant(t *testing.T) {
+	// Every key in every bucket must hash back to a directory slot
+	// pointing at that bucket.
+	ix := New()
+	for k := uint64(0); k < 20000; k += 3 {
+		ix.Insert(k, k)
+	}
+	for slot, b := range ix.dirs {
+		for _, k := range b.keys {
+			if ix.dirs[ix.dirIndex(k)] != b {
+				t.Fatalf("key %d in bucket at slot %d but routes elsewhere", k, slot)
+			}
+		}
+	}
+}
+
+func TestDeleteShrinksLen(t *testing.T) {
+	ix := New()
+	for k := uint64(0); k < 1000; k++ {
+		ix.Insert(k, k)
+	}
+	for k := uint64(0); k < 1000; k += 2 {
+		if !ix.Delete(k) {
+			t.Fatalf("Delete(%d) failed", k)
+		}
+	}
+	if ix.Len() != 500 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+}
+
+func TestScanSortsResults(t *testing.T) {
+	ix := New()
+	for _, k := range []uint64{50, 10, 90, 30, 70} {
+		ix.Insert(k, k)
+	}
+	var got []uint64
+	ix.Scan(0, 100, func(k, _ uint64) bool { got = append(got, k); return true })
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("scan unsorted: %v", got)
+		}
+	}
+	if len(got) != 5 {
+		t.Fatalf("scan visited %d", len(got))
+	}
+}
+
+func TestBulkLoadReplaces(t *testing.T) {
+	ix := New()
+	ix.Insert(999, 1)
+	ix.BulkLoad([]uint64{1, 2, 3}, []uint64{10, 20, 30})
+	if ix.Len() != 3 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	if _, ok := ix.Get(999); ok {
+		t.Fatal("BulkLoad did not replace contents")
+	}
+}

@@ -1,0 +1,405 @@
+// Package rmi implements a two-stage Recursive Model Index (Kraska et al.,
+// "The Case for Learned Index Structures", SIGMOD 2018): a root linear model
+// dispatches each key to one of many second-stage linear models, each
+// predicting the key's position in a sorted array within a tracked error
+// bound; a final bounded binary search ("last-mile search") corrects the
+// prediction.
+//
+// The RMI is the archetypal *static* learned index: it must be trained on
+// sorted data, answers lookups extremely fast when the trained CDF still
+// matches the data, and degrades — and eventually refuses inserts into its
+// sorted array — when the distribution drifts. The benchmark exercises
+// exactly this trade-off; inserts are absorbed into a sorted delta buffer
+// that is merged on Retrain, modelling the common "RMI + delta" deployment.
+package rmi
+
+import (
+	"sort"
+
+	"repro/internal/index"
+	"repro/internal/stats"
+)
+
+// DefaultStage2 is the number of second-stage models used by New.
+const DefaultStage2 = 1024
+
+// deltaMergeThreshold triggers an automatic retrain when the unsorted
+// delta grows beyond this fraction of the main array.
+const deltaMergeThreshold = 0.25
+
+// Index is a two-stage RMI with a delta buffer for updates. Not safe for
+// concurrent use.
+type Index struct {
+	stage2N int
+
+	keys   []uint64 // sorted main array
+	values []uint64
+
+	root   stats.Linear
+	leaves []leafModel
+
+	// delta absorbs inserts between retrains; kept sorted for O(log n)
+	// lookup and ordered scans.
+	deltaKeys []uint64
+	deltaVals []uint64
+
+	tombstones map[uint64]struct{} // deleted keys awaiting merge
+
+	st      index.Stats
+	trained bool
+}
+
+type leafModel struct {
+	model stats.Linear
+	// err is the max |predicted - actual| observed while training; the
+	// last-mile search is bounded to [pred-err, pred+err].
+	err int
+}
+
+// New returns an empty RMI with the given number of stage-2 models.
+func New(stage2 int) *Index {
+	if stage2 < 1 {
+		stage2 = 1
+	}
+	return &Index{stage2N: stage2, tombstones: make(map[uint64]struct{})}
+}
+
+// NewDefault returns an RMI with DefaultStage2 leaf models.
+func NewDefault() *Index { return New(DefaultStage2) }
+
+// Name implements index.Ordered.
+func (ix *Index) Name() string { return "rmi" }
+
+// Len implements index.Ordered.
+func (ix *Index) Len() int {
+	return len(ix.keys) + len(ix.deltaKeys) - len(ix.tombstones)
+}
+
+// Stats implements index.Instrumented.
+func (ix *Index) Stats() index.Stats { return ix.st }
+
+// ModelCount implements index.Trainable.
+func (ix *Index) ModelCount() int {
+	if !ix.trained {
+		return 0
+	}
+	return 1 + len(ix.leaves)
+}
+
+// BulkLoad implements index.BulkLoader: installs the sorted data and trains.
+func (ix *Index) BulkLoad(keys, values []uint64) {
+	if len(keys) != len(values) {
+		panic("rmi: BulkLoad length mismatch")
+	}
+	ix.keys = append(ix.keys[:0], keys...)
+	ix.values = append(ix.values[:0], values...)
+	ix.deltaKeys = ix.deltaKeys[:0]
+	ix.deltaVals = ix.deltaVals[:0]
+	ix.tombstones = make(map[uint64]struct{})
+	ix.Retrain()
+}
+
+// Retrain implements index.Trainable: merges the delta buffer and
+// tombstones into the main array and refits all models. The returned work
+// count is the number of model fits plus entries touched, which the cost
+// model converts to training time.
+func (ix *Index) Retrain() int {
+	work := 0
+	// Merge delta + main, dropping tombstones.
+	if len(ix.deltaKeys) > 0 || len(ix.tombstones) > 0 {
+		merged := make([]uint64, 0, len(ix.keys)+len(ix.deltaKeys))
+		mergedV := make([]uint64, 0, cap(merged))
+		i, j := 0, 0
+		for i < len(ix.keys) || j < len(ix.deltaKeys) {
+			var k, v uint64
+			takeDelta := i >= len(ix.keys) ||
+				(j < len(ix.deltaKeys) && ix.deltaKeys[j] <= ix.keys[i])
+			if takeDelta {
+				k, v = ix.deltaKeys[j], ix.deltaVals[j]
+				// Delta overrides main on equal keys.
+				if i < len(ix.keys) && ix.keys[i] == k {
+					i++
+				}
+				j++
+			} else {
+				k, v = ix.keys[i], ix.values[i]
+				i++
+			}
+			if _, dead := ix.tombstones[k]; dead {
+				continue
+			}
+			merged = append(merged, k)
+			mergedV = append(mergedV, v)
+		}
+		work += len(merged)
+		ix.keys, ix.values = merged, mergedV
+		ix.deltaKeys = ix.deltaKeys[:0]
+		ix.deltaVals = ix.deltaVals[:0]
+		ix.tombstones = make(map[uint64]struct{})
+	}
+
+	n := len(ix.keys)
+	ix.leaves = make([]leafModel, ix.stage2N)
+	if n == 0 {
+		ix.root = stats.Linear{}
+		ix.trained = true
+		return work + 1
+	}
+
+	// Stage 1: map key -> leaf id over the full range.
+	xs2 := make([]float64, 0, minInt(n, 4096))
+	ys2 := make([]float64, 0, cap(xs2))
+	stride := n / cap(xs2)
+	if stride < 1 {
+		stride = 1
+	}
+	for i := 0; i < n; i += stride {
+		xs2 = append(xs2, float64(ix.keys[i]))
+		ys2 = append(ys2, float64(i)/float64(n)*float64(ix.stage2N))
+	}
+	ix.root = stats.FitLinear(xs2, ys2)
+	work++
+
+	// Partition keys among leaves by the root model's prediction, then
+	// fit each leaf on its own span. Using the root's own routing for
+	// training guarantees lookup-time routing sees the same partition.
+	starts := make([]int, ix.stage2N+1)
+	for i := range starts {
+		starts[i] = -1
+	}
+	leafOf := make([]int, n)
+	for i := 0; i < n; i++ {
+		l := ix.root.PredictClamped(float64(ix.keys[i]), ix.stage2N)
+		leafOf[i] = l
+		if starts[l] == -1 {
+			starts[l] = i
+		}
+	}
+	starts[ix.stage2N] = n
+	// Back-fill empty leaves' start with the next non-empty start.
+	for i := ix.stage2N - 1; i >= 0; i-- {
+		if starts[i] == -1 {
+			starts[i] = starts[i+1]
+		}
+	}
+
+	for l := 0; l < ix.stage2N; l++ {
+		lo, hi := starts[l], starts[l+1]
+		if lo >= hi {
+			// Empty leaf: constant model pointing at the boundary.
+			ix.leaves[l] = leafModel{model: stats.Linear{Intercept: float64(lo)}, err: 0}
+			continue
+		}
+		seg := ix.keys[lo:hi]
+		m := fitSegment(seg, lo)
+		maxErr := 0
+		for i, k := range seg {
+			pred := m.PredictClamped(float64(k), n)
+			diff := pred - (lo + i)
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > maxErr {
+				maxErr = diff
+			}
+		}
+		ix.leaves[l] = leafModel{model: m, err: maxErr}
+		work++
+	}
+	ix.trained = true
+	return work
+}
+
+func fitSegment(keys []uint64, offset int) stats.Linear {
+	if len(keys) == 1 {
+		return stats.Linear{Intercept: float64(offset)}
+	}
+	m := stats.FitLinearKeys(keys)
+	m.Intercept += float64(offset)
+	return m
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// searchMain locates key in the main array via the model, returning its
+// index and presence.
+func (ix *Index) searchMain(key uint64) (int, bool) {
+	n := len(ix.keys)
+	if n == 0 || !ix.trained {
+		return 0, false
+	}
+	l := ix.root.PredictClamped(float64(key), ix.stage2N)
+	lm := ix.leaves[l]
+	pred := lm.model.PredictClamped(float64(key), n)
+	lo := pred - lm.err
+	hi := pred + lm.err + 1
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > n {
+		hi = n
+	}
+	// Track model error for diagnostics.
+	span := hi - lo
+	ix.st.Compares += uint64(bits(span))
+	i := lo + sort.Search(span, func(i int) bool { return ix.keys[lo+i] >= key })
+	if i < n && ix.keys[i] == key {
+		d := i - pred
+		if d < 0 {
+			d = -d
+		}
+		ix.st.ModelErrSum += uint64(d)
+		return i, true
+	}
+	return i, false
+}
+
+func bits(n int) int {
+	b := 1
+	for n > 1 {
+		n >>= 1
+		b++
+	}
+	return b
+}
+
+// Get implements index.Ordered.
+func (ix *Index) Get(key uint64) (uint64, bool) {
+	ix.st.Searches++
+	if _, dead := ix.tombstones[key]; dead {
+		return 0, false
+	}
+	// Delta first: it overrides the main array.
+	if j := sort.Search(len(ix.deltaKeys), func(i int) bool { return ix.deltaKeys[i] >= key }); j < len(ix.deltaKeys) && ix.deltaKeys[j] == key {
+		return ix.deltaVals[j], true
+	}
+	if i, ok := ix.searchMain(key); ok {
+		return ix.values[i], true
+	}
+	return 0, false
+}
+
+// Insert implements index.Ordered. New keys go to the sorted delta buffer;
+// once the delta exceeds deltaMergeThreshold of the main array the index
+// retrains automatically (counted in Stats().Splits so the benchmark can
+// attribute the latency spike).
+func (ix *Index) Insert(key, value uint64) {
+	delete(ix.tombstones, key)
+	// Update-in-place if the key is in the main array.
+	if i, ok := ix.searchMain(key); ok {
+		ix.values[i] = value
+		return
+	}
+	j := sort.Search(len(ix.deltaKeys), func(i int) bool { return ix.deltaKeys[i] >= key })
+	if j < len(ix.deltaKeys) && ix.deltaKeys[j] == key {
+		ix.deltaVals[j] = value
+		return
+	}
+	ix.deltaKeys = append(ix.deltaKeys, 0)
+	copy(ix.deltaKeys[j+1:], ix.deltaKeys[j:])
+	ix.deltaKeys[j] = key
+	ix.deltaVals = append(ix.deltaVals, 0)
+	copy(ix.deltaVals[j+1:], ix.deltaVals[j:])
+	ix.deltaVals[j] = value
+	// Charge the memmove that keeps the delta sorted (~16 bytes per
+	// shifted entry, one work unit per cache line): the sorted-array
+	// delta is cheap while small and increasingly expensive as drift
+	// fills it — a real cost of the static-learned-index design.
+	ix.st.Compares += uint64((len(ix.deltaKeys) - j) / 4)
+
+	if len(ix.keys) > 0 && float64(len(ix.deltaKeys)) > deltaMergeThreshold*float64(len(ix.keys)) {
+		ix.st.Splits++
+		ix.st.TrainWork += uint64(ix.Retrain())
+	}
+}
+
+// Delete implements index.Ordered via tombstones resolved at Retrain.
+func (ix *Index) Delete(key uint64) bool {
+	if _, dead := ix.tombstones[key]; dead {
+		return false
+	}
+	if j := sort.Search(len(ix.deltaKeys), func(i int) bool { return ix.deltaKeys[i] >= key }); j < len(ix.deltaKeys) && ix.deltaKeys[j] == key {
+		ix.deltaKeys = append(ix.deltaKeys[:j], ix.deltaKeys[j+1:]...)
+		ix.deltaVals = append(ix.deltaVals[:j], ix.deltaVals[j+1:]...)
+		return true
+	}
+	if _, ok := ix.searchMain(key); ok {
+		ix.tombstones[key] = struct{}{}
+		return true
+	}
+	return false
+}
+
+// Scan implements index.Ordered: a sorted merge of the main array and the
+// delta buffer, skipping tombstones.
+func (ix *Index) Scan(lo, hi uint64, fn func(key, value uint64) bool) int {
+	if hi < lo {
+		return 0
+	}
+	i, _ := ix.searchMain(lo)
+	if !ix.trained {
+		i = sort.Search(len(ix.keys), func(i int) bool { return ix.keys[i] >= lo })
+	}
+	// The trained error bound holds for present keys; for an absent scan
+	// bound the insertion point can sit just outside the searched window.
+	// Fix up locally (cost bounded by the true model error).
+	for i > 0 && ix.keys[i-1] >= lo {
+		i--
+	}
+	for i < len(ix.keys) && ix.keys[i] < lo {
+		i++
+	}
+	j := sort.Search(len(ix.deltaKeys), func(j int) bool { return ix.deltaKeys[j] >= lo })
+	visited := 0
+	for i < len(ix.keys) || j < len(ix.deltaKeys) {
+		var k, v uint64
+		fromDelta := i >= len(ix.keys) ||
+			(j < len(ix.deltaKeys) && ix.deltaKeys[j] <= ix.keys[i])
+		if fromDelta {
+			k, v = ix.deltaKeys[j], ix.deltaVals[j]
+			if i < len(ix.keys) && ix.keys[i] == k {
+				i++ // delta overrides main
+			}
+			j++
+		} else {
+			k, v = ix.keys[i], ix.values[i]
+			i++
+		}
+		if k > hi {
+			break
+		}
+		if _, dead := ix.tombstones[k]; dead {
+			continue
+		}
+		visited++
+		if !fn(k, v) {
+			break
+		}
+	}
+	return visited
+}
+
+// DeltaLen reports the current delta-buffer size (for tests and reports).
+func (ix *Index) DeltaLen() int { return len(ix.deltaKeys) }
+
+// MaxLeafError returns the largest trained last-mile error bound across
+// leaves — the distribution-difficulty signal Figure 1a explains.
+func (ix *Index) MaxLeafError() int {
+	m := 0
+	for _, l := range ix.leaves {
+		if l.err > m {
+			m = l.err
+		}
+	}
+	return m
+}
+
+var _ index.Ordered = (*Index)(nil)
+var _ index.BulkLoader = (*Index)(nil)
+var _ index.Trainable = (*Index)(nil)
+var _ index.Instrumented = (*Index)(nil)

@@ -1,0 +1,149 @@
+package rmi
+
+import (
+	"testing"
+
+	"repro/internal/distgen"
+	"repro/internal/index"
+	"repro/internal/index/indextest"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.Run(t, func() index.Ordered { return NewDefault() })
+}
+
+func TestConformanceFewModels(t *testing.T) {
+	indextest.Run(t, func() index.Ordered { return New(4) })
+}
+
+func TestTrainOnSequentialTightErrors(t *testing.T) {
+	keys := distgen.UniqueKeys(distgen.NewSequential(1, 0, 8), 100000)
+	vals := make([]uint64, len(keys))
+	ix := New(256)
+	ix.BulkLoad(keys, vals)
+	if e := ix.MaxLeafError(); e > 64 {
+		t.Fatalf("sequential data should train tightly, max err = %d", e)
+	}
+	if ix.ModelCount() != 257 {
+		t.Fatalf("model count = %d", ix.ModelCount())
+	}
+}
+
+func TestHardDistributionStillCorrect(t *testing.T) {
+	keys := distgen.UniqueKeys(distgen.NewClustered(2, 50, 1e6), 50000)
+	vals := make([]uint64, len(keys))
+	for i := range vals {
+		vals[i] = uint64(i)
+	}
+	ix := NewDefault()
+	ix.BulkLoad(keys, vals)
+	for i, k := range keys {
+		if v, ok := ix.Get(k); !ok || v != uint64(i) {
+			t.Fatalf("Get(%d) = %d,%v", k, v, ok)
+		}
+	}
+}
+
+func TestDeltaAutoMerge(t *testing.T) {
+	keys := distgen.UniqueKeys(distgen.NewUniform(3, 0, 1<<40), 10000)
+	vals := make([]uint64, len(keys))
+	ix := NewDefault()
+	ix.BulkLoad(keys, vals)
+	// Insert until the delta threshold (25%) forces a merge.
+	inserted := 0
+	for k := uint64(1); inserted < 4000; k += 7919 {
+		if _, ok := ix.Get(k); !ok {
+			ix.Insert(k, k)
+			inserted++
+		}
+	}
+	if ix.DeltaLen() >= 4000 {
+		t.Fatalf("delta never merged: %d", ix.DeltaLen())
+	}
+	if ix.Stats().Splits == 0 {
+		t.Fatal("auto-retrain not recorded in Splits")
+	}
+}
+
+func TestRetrainReturnsWork(t *testing.T) {
+	ix := NewDefault()
+	keys := distgen.UniqueKeys(distgen.NewUniform(4, 0, 1<<40), 5000)
+	ix.BulkLoad(keys, make([]uint64, len(keys)))
+	for k := uint64(3); k < 100; k += 2 {
+		ix.Insert(k, k)
+	}
+	if w := ix.Retrain(); w <= 0 {
+		t.Fatalf("Retrain work = %d", w)
+	}
+	if ix.DeltaLen() != 0 {
+		t.Fatal("Retrain left delta entries")
+	}
+}
+
+func TestUntrainedIndexUsable(t *testing.T) {
+	ix := NewDefault()
+	ix.Insert(5, 50)
+	ix.Insert(1, 10)
+	if v, ok := ix.Get(5); !ok || v != 50 {
+		t.Fatal("delta-only Get failed")
+	}
+	var got []uint64
+	ix.Scan(0, 10, func(k, _ uint64) bool { got = append(got, k); return true })
+	if len(got) != 2 || got[0] != 1 || got[1] != 5 {
+		t.Fatalf("delta-only scan = %v", got)
+	}
+	if ix.ModelCount() != 0 {
+		t.Fatalf("untrained ModelCount = %d", ix.ModelCount())
+	}
+}
+
+func TestTombstoneSurvivesRetrain(t *testing.T) {
+	ix := NewDefault()
+	keys := []uint64{10, 20, 30, 40, 50}
+	ix.BulkLoad(keys, []uint64{1, 2, 3, 4, 5})
+	ix.Delete(30)
+	ix.Retrain()
+	if _, ok := ix.Get(30); ok {
+		t.Fatal("tombstoned key resurrected by Retrain")
+	}
+	if ix.Len() != 4 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+}
+
+func TestModelErrAccumulates(t *testing.T) {
+	// On clustered data the learned model must report nonzero error work.
+	keys := distgen.UniqueKeys(distgen.NewClustered(5, 20, 1e5), 20000)
+	ix := New(64)
+	ix.BulkLoad(keys, make([]uint64, len(keys)))
+	for _, k := range keys[:5000] {
+		ix.Get(k)
+	}
+	st := ix.Stats()
+	if st.Searches != 5000 {
+		t.Fatalf("searches = %d", st.Searches)
+	}
+	if st.Compares == 0 {
+		t.Fatal("no compare work recorded")
+	}
+}
+
+func TestLookupFasterOnEasyData(t *testing.T) {
+	// The whole point of an RMI: last-mile work on learnable (sequential)
+	// data must be much lower than on adversarial (clustered) data.
+	easyKeys := distgen.UniqueKeys(distgen.NewSequential(6, 0, 4), 50000)
+	hardKeys := distgen.UniqueKeys(distgen.NewClustered(7, 30, 1e4), 50000)
+
+	probe := func(keys []uint64) uint64 {
+		ix := New(512)
+		ix.BulkLoad(keys, make([]uint64, len(keys)))
+		for _, k := range keys {
+			ix.Get(k)
+		}
+		return ix.Stats().Compares
+	}
+	easy, hard := probe(easyKeys), probe(hardKeys)
+	if easy >= hard {
+		t.Fatalf("easy data compares (%d) not below hard data (%d)", easy, hard)
+	}
+}

@@ -1,0 +1,72 @@
+package kv
+
+// bloom is a split Bloom filter over uint64 keys using double hashing
+// (Kirsch–Mitzenmacher): h_i(k) = h1(k) + i*h2(k).
+type bloom struct {
+	bits []uint64
+	k    int // number of hash probes
+}
+
+// newBloom sizes a filter for n keys at bitsPerKey. Returns nil when
+// disabled (bitsPerKey <= 0 or n == 0), which callers treat as "might
+// contain".
+func newBloom(n, bitsPerKey int) *bloom {
+	if bitsPerKey <= 0 || n <= 0 {
+		return nil
+	}
+	nbits := n * bitsPerKey
+	if nbits < 64 {
+		nbits = 64
+	}
+	// Optimal probe count ~= bitsPerKey * ln2.
+	k := int(float64(bitsPerKey) * 0.69)
+	if k < 1 {
+		k = 1
+	}
+	if k > 12 {
+		k = 12
+	}
+	return &bloom{bits: make([]uint64, (nbits+63)/64), k: k}
+}
+
+func bloomH1(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xFF51AFD7ED558CCD
+	k ^= k >> 33
+	return k
+}
+
+func bloomH2(k uint64) uint64 {
+	k *= 0xC4CEB9FE1A85EC53
+	k ^= k >> 29
+	return k | 1 // odd, so probes cycle the whole table
+}
+
+// add inserts key into the filter.
+func (b *bloom) add(key uint64) {
+	if b == nil {
+		return
+	}
+	n := uint64(len(b.bits) * 64)
+	h1, h2 := bloomH1(key), bloomH2(key)
+	for i := 0; i < b.k; i++ {
+		pos := (h1 + uint64(i)*h2) % n
+		b.bits[pos/64] |= 1 << (pos % 64)
+	}
+}
+
+// mayContain reports whether key might be present (false = definitely not).
+func (b *bloom) mayContain(key uint64) bool {
+	if b == nil {
+		return true
+	}
+	n := uint64(len(b.bits) * 64)
+	h1, h2 := bloomH1(key), bloomH2(key)
+	for i := 0; i < b.k; i++ {
+		pos := (h1 + uint64(i)*h2) % n
+		if b.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}

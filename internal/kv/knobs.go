@@ -1,0 +1,85 @@
+// Package kv implements a log-structured key-value store (memtable +
+// sorted runs + merge compaction + Bloom filters) with explicit tuning
+// knobs. It is the substrate for the paper's cost metrics (Fig 1d): the
+// knob space is what the auto-tuner searches and what the simulated
+// database administrator tunes by hand, so "training cost to outperform a
+// manually-tuned traditional system" becomes measurable.
+package kv
+
+import "fmt"
+
+// Knobs are the store's tunable configuration parameters. The defaults are
+// deliberately mediocre for most workloads — mirroring an untuned stock
+// deployment — so that both tuning paths have headroom to demonstrate.
+type Knobs struct {
+	// MemtableCap is the number of entries buffered before a flush to a
+	// sorted run. Larger favours write-heavy workloads.
+	MemtableCap int
+	// MaxRuns is the number of on-"disk" runs tolerated before a full
+	// merge compaction. Smaller favours read-heavy workloads.
+	MaxRuns int
+	// SparseEvery is the sparse-index granularity inside a run: one
+	// index entry per SparseEvery keys. Smaller = faster reads, more
+	// memory.
+	SparseEvery int
+	// BloomBitsPerKey sizes each run's Bloom filter. 0 disables filters.
+	BloomBitsPerKey int
+}
+
+// DefaultKnobs returns the untuned stock configuration.
+func DefaultKnobs() Knobs {
+	return Knobs{
+		MemtableCap:     4096,
+		MaxRuns:         12,
+		SparseEvery:     256,
+		BloomBitsPerKey: 0,
+	}
+}
+
+// Validate normalizes out-of-range values and returns the cleaned knobs.
+func (k Knobs) Validate() Knobs {
+	if k.MemtableCap < 64 {
+		k.MemtableCap = 64
+	}
+	if k.MaxRuns < 1 {
+		k.MaxRuns = 1
+	}
+	if k.SparseEvery < 1 {
+		k.SparseEvery = 1
+	}
+	if k.BloomBitsPerKey < 0 {
+		k.BloomBitsPerKey = 0
+	}
+	if k.BloomBitsPerKey > 32 {
+		k.BloomBitsPerKey = 32
+	}
+	return k
+}
+
+// String renders the knob values compactly for reports.
+func (k Knobs) String() string {
+	return fmt.Sprintf("knobs{mem=%d runs=%d sparse=%d bloom=%d}",
+		k.MemtableCap, k.MaxRuns, k.SparseEvery, k.BloomBitsPerKey)
+}
+
+// Space enumerates the discrete knob search space the tuner and the DBA
+// model draw from. Kept modest (4*4*3*3 = 144 points) so exhaustive search
+// is feasible in tests while hill climbing remains non-trivial.
+func Space() []Knobs {
+	var out []Knobs
+	for _, mem := range []int{1024, 4096, 16384, 65536} {
+		for _, runs := range []int{2, 4, 8, 16} {
+			for _, sparse := range []int{32, 128, 512} {
+				for _, bloom := range []int{0, 8, 16} {
+					out = append(out, Knobs{
+						MemtableCap:     mem,
+						MaxRuns:         runs,
+						SparseEvery:     sparse,
+						BloomBitsPerKey: bloom,
+					})
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package kv
+
+import "sort"
+
+// tombstoneVal marks deletions inside runs. Values written by users are
+// stored alongside a liveness flag, so the full uint64 value space remains
+// usable.
+type entry struct {
+	key  uint64
+	val  uint64
+	dead bool
+}
+
+// run is an immutable sorted run — the "on-disk" unit of the store. A
+// sparse index of every SparseEvery-th key accelerates point and range
+// lookups; a Bloom filter short-circuits misses.
+type run struct {
+	entries []entry
+	// sparse[i] is the key at entries[i*sparseEvery].
+	sparse      []uint64
+	sparseEvery int
+	filter      *bloom
+}
+
+// newRun builds a run from sorted, deduplicated entries.
+func newRun(entries []entry, sparseEvery, bloomBitsPerKey int) *run {
+	r := &run{entries: entries, sparseEvery: sparseEvery}
+	if sparseEvery < 1 {
+		r.sparseEvery = 1
+	}
+	for i := 0; i < len(entries); i += r.sparseEvery {
+		r.sparse = append(r.sparse, entries[i].key)
+	}
+	if bloomBitsPerKey > 0 {
+		r.filter = newBloom(len(entries), bloomBitsPerKey)
+		for _, e := range entries {
+			r.filter.add(e.key)
+		}
+	}
+	return r
+}
+
+// get returns the entry for key if present in this run. The probes counter
+// feedback lets the store report read amplification.
+func (r *run) get(key uint64) (entry, bool, int) {
+	if len(r.entries) == 0 {
+		return entry{}, false, 0
+	}
+	if !r.filter.mayContain(key) {
+		return entry{}, false, 0
+	}
+	probes := 0
+	// Sparse index narrows to a block of sparseEvery entries.
+	b := sort.Search(len(r.sparse), func(i int) bool { return r.sparse[i] > key })
+	if b == 0 {
+		// sparse[0] is entries[0].key, so key below it is absent.
+		if key < r.entries[0].key {
+			return entry{}, false, probes
+		}
+		b = 1
+	}
+	lo := (b - 1) * r.sparseEvery
+	hi := lo + r.sparseEvery
+	if hi > len(r.entries) {
+		hi = len(r.entries)
+	}
+	probes = hi - lo
+	i := lo + sort.Search(hi-lo, func(i int) bool { return r.entries[lo+i].key >= key })
+	if i < len(r.entries) && r.entries[i].key == key {
+		return r.entries[i], true, probes
+	}
+	return entry{}, false, probes
+}
+
+// lowerBound returns the index of the first entry with key >= lo.
+func (r *run) lowerBound(lo uint64) int {
+	b := sort.Search(len(r.sparse), func(i int) bool { return r.sparse[i] >= lo })
+	start := 0
+	if b > 0 {
+		start = (b - 1) * r.sparseEvery
+	}
+	end := b*r.sparseEvery + 1
+	if end > len(r.entries) {
+		end = len(r.entries)
+	}
+	if start > end {
+		start = end
+	}
+	return start + sort.Search(end-start, func(i int) bool { return r.entries[start+i].key >= lo })
+}
+
+// mergeRuns merges newest-to-oldest ordered runs into one deduplicated run
+// (newest wins), dropping tombstones when dropDead is true (full merge).
+func mergeRuns(runs []*run, sparseEvery, bloomBitsPerKey int, dropDead bool) *run {
+	// k-way merge via iterative pairwise merging, newest priority.
+	// runs[0] is newest.
+	var merged []entry
+	for _, r := range runs {
+		merged = mergePair(merged, r.entries)
+	}
+	if dropDead {
+		w := 0
+		for _, e := range merged {
+			if !e.dead {
+				merged[w] = e
+				w++
+			}
+		}
+		merged = merged[:w]
+	}
+	return newRun(merged, sparseEvery, bloomBitsPerKey)
+}
+
+// mergePair merges two sorted entry slices; entries in `newer` win ties.
+func mergePair(newer, older []entry) []entry {
+	if len(newer) == 0 {
+		return append([]entry(nil), older...)
+	}
+	if len(older) == 0 {
+		return append([]entry(nil), newer...)
+	}
+	out := make([]entry, 0, len(newer)+len(older))
+	i, j := 0, 0
+	for i < len(newer) && j < len(older) {
+		switch {
+		case newer[i].key < older[j].key:
+			out = append(out, newer[i])
+			i++
+		case newer[i].key > older[j].key:
+			out = append(out, older[j])
+			j++
+		default:
+			out = append(out, newer[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, newer[i:]...)
+	out = append(out, older[j:]...)
+	return out
+}

@@ -1,0 +1,247 @@
+package kv
+
+import (
+	"sort"
+)
+
+// Store is an in-memory log-structured KV store: writes land in a sorted
+// memtable; full memtables flush to immutable sorted runs; when more than
+// Knobs.MaxRuns runs accumulate they are merge-compacted into one. Reads
+// consult the memtable, then runs newest-to-oldest through Bloom filters
+// and sparse indexes.
+//
+// Not safe for concurrent use; the benchmark driver shards or serializes.
+type Store struct {
+	knobs Knobs
+
+	// memtable: sorted keys with parallel values/liveness. A slice-based
+	// sorted memtable keeps the hot path allocation-free.
+	memKeys []uint64
+	memVals []uint64
+	memDead []bool
+
+	runs []*run // runs[0] is newest
+
+	st Counters
+}
+
+// Counters exposes the store's internal work counters so benchmarks can
+// explain throughput differences between knob settings.
+type Counters struct {
+	Gets            uint64
+	Puts            uint64
+	Deletes         uint64
+	Flushes         uint64
+	Compactions     uint64
+	CompactedBytes  uint64 // entries rewritten by compaction
+	RunProbes       uint64 // entries touched during run lookups
+	BloomNegatives  uint64 // run lookups skipped by a filter
+	MemtableHits    uint64
+	RunsSearchedSum uint64 // total runs consulted across Gets
+}
+
+// Open returns an empty store with the given knobs.
+func Open(knobs Knobs) *Store {
+	return &Store{knobs: knobs.Validate()}
+}
+
+// Knobs returns the active configuration.
+func (s *Store) Knobs() Knobs { return s.knobs }
+
+// Counters returns a snapshot of the work counters.
+func (s *Store) Counters() Counters { return s.st }
+
+// SetKnobs applies a new configuration (an online re-tune). The new
+// MaxRuns takes effect at the next write; a stricter run budget triggers an
+// immediate compaction so reads benefit right away.
+func (s *Store) SetKnobs(k Knobs) {
+	s.knobs = k.Validate()
+	if len(s.runs) > s.knobs.MaxRuns {
+		s.compact()
+	}
+}
+
+// memFind locates key in the memtable.
+func (s *Store) memFind(key uint64) (int, bool) {
+	i := sort.Search(len(s.memKeys), func(i int) bool { return s.memKeys[i] >= key })
+	return i, i < len(s.memKeys) && s.memKeys[i] == key
+}
+
+// Put inserts or overwrites key.
+func (s *Store) Put(key, value uint64) {
+	s.st.Puts++
+	s.memPut(key, value, false)
+}
+
+// Delete removes key (tombstone semantics: the deletion masks older runs).
+func (s *Store) Delete(key uint64) {
+	s.st.Deletes++
+	s.memPut(key, 0, true)
+}
+
+func (s *Store) memPut(key, value uint64, dead bool) {
+	i, found := s.memFind(key)
+	if found {
+		s.memVals[i] = value
+		s.memDead[i] = dead
+		return
+	}
+	s.memKeys = append(s.memKeys, 0)
+	copy(s.memKeys[i+1:], s.memKeys[i:])
+	s.memKeys[i] = key
+	s.memVals = append(s.memVals, 0)
+	copy(s.memVals[i+1:], s.memVals[i:])
+	s.memVals[i] = value
+	s.memDead = append(s.memDead, false)
+	copy(s.memDead[i+1:], s.memDead[i:])
+	s.memDead[i] = dead
+
+	if len(s.memKeys) >= s.knobs.MemtableCap {
+		s.flush()
+	}
+}
+
+// flush turns the memtable into the newest run.
+func (s *Store) flush() {
+	if len(s.memKeys) == 0 {
+		return
+	}
+	s.st.Flushes++
+	entries := make([]entry, len(s.memKeys))
+	for i := range s.memKeys {
+		entries[i] = entry{key: s.memKeys[i], val: s.memVals[i], dead: s.memDead[i]}
+	}
+	r := newRun(entries, s.knobs.SparseEvery, s.knobs.BloomBitsPerKey)
+	s.runs = append([]*run{r}, s.runs...)
+	s.memKeys = s.memKeys[:0]
+	s.memVals = s.memVals[:0]
+	s.memDead = s.memDead[:0]
+	if len(s.runs) > s.knobs.MaxRuns {
+		s.compact()
+	}
+}
+
+// compact merges all runs into one, dropping tombstones.
+func (s *Store) compact() {
+	if len(s.runs) <= 1 {
+		return
+	}
+	s.st.Compactions++
+	for _, r := range s.runs {
+		s.st.CompactedBytes += uint64(len(r.entries))
+	}
+	merged := mergeRuns(s.runs, s.knobs.SparseEvery, s.knobs.BloomBitsPerKey, true)
+	s.runs = []*run{merged}
+}
+
+// Get returns the value for key.
+func (s *Store) Get(key uint64) (uint64, bool) {
+	s.st.Gets++
+	if i, found := s.memFind(key); found {
+		s.st.MemtableHits++
+		if s.memDead[i] {
+			return 0, false
+		}
+		return s.memVals[i], true
+	}
+	for _, r := range s.runs {
+		s.st.RunsSearchedSum++
+		if !r.filter.mayContain(key) {
+			s.st.BloomNegatives++
+			continue
+		}
+		e, found, probes := r.get(key)
+		s.st.RunProbes += uint64(probes)
+		if found {
+			if e.dead {
+				return 0, false
+			}
+			return e.val, true
+		}
+	}
+	return 0, false
+}
+
+// Scan visits live entries with key in [lo, hi] ascending, stopping early
+// if fn returns false; it returns the number visited. The scan merges the
+// memtable and all runs with newest-wins semantics.
+func (s *Store) Scan(lo, hi uint64, fn func(key, value uint64) bool) int {
+	if hi < lo {
+		return 0
+	}
+	type cursor struct {
+		// source 0 is the memtable; 1..len(runs) are runs newest-first,
+		// so a smaller source index wins ties.
+		source int
+		idx    int
+	}
+	cursors := make([]cursor, 0, len(s.runs)+1)
+	mi, _ := s.memFind(lo)
+	cursors = append(cursors, cursor{source: 0, idx: mi})
+	for ri, r := range s.runs {
+		cursors = append(cursors, cursor{source: ri + 1, idx: r.lowerBound(lo)})
+	}
+	keyAt := func(c cursor) (uint64, uint64, bool, bool) { // key, val, dead, ok
+		if c.source == 0 {
+			if c.idx >= len(s.memKeys) {
+				return 0, 0, false, false
+			}
+			return s.memKeys[c.idx], s.memVals[c.idx], s.memDead[c.idx], true
+		}
+		r := s.runs[c.source-1]
+		if c.idx >= len(r.entries) {
+			return 0, 0, false, false
+		}
+		e := r.entries[c.idx]
+		return e.key, e.val, e.dead, true
+	}
+	visited := 0
+	for {
+		// Find the smallest current key; newest source wins ties.
+		best := -1
+		var bk, bv uint64
+		var bdead bool
+		for ci := range cursors {
+			k, v, dead, ok := keyAt(cursors[ci])
+			if !ok || k > hi {
+				continue
+			}
+			if best == -1 || k < bk {
+				best, bk, bv, bdead = ci, k, v, dead
+			}
+		}
+		if best == -1 {
+			return visited
+		}
+		// Advance every cursor sitting on bk (dedup across sources).
+		for ci := range cursors {
+			if k, _, _, ok := keyAt(cursors[ci]); ok && k == bk {
+				cursors[ci].idx++
+			}
+		}
+		if bdead {
+			continue
+		}
+		visited++
+		if !fn(bk, bv) {
+			return visited
+		}
+	}
+}
+
+// Len returns the number of live keys. It is O(data) — intended for tests
+// and reports, not hot paths.
+func (s *Store) Len() int {
+	n := 0
+	s.Scan(0, ^uint64(0), func(_, _ uint64) bool { n++; return n >= 0 })
+	return n
+}
+
+// RunCount reports the current number of on-"disk" runs.
+func (s *Store) RunCount() int { return len(s.runs) }
+
+// MemtableLen reports the number of buffered entries.
+func (s *Store) MemtableLen() int { return len(s.memKeys) }
+
+// Flush forces the memtable out (test/benchmark hook).
+func (s *Store) Flush() { s.flush() }

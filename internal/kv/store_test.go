@@ -1,0 +1,302 @@
+package kv
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func smallKnobs() Knobs {
+	return Knobs{MemtableCap: 64, MaxRuns: 3, SparseEvery: 8, BloomBitsPerKey: 10}
+}
+
+func TestPutGet(t *testing.T) {
+	s := Open(smallKnobs())
+	for k := uint64(0); k < 1000; k++ {
+		s.Put(k, k*2)
+	}
+	for k := uint64(0); k < 1000; k++ {
+		v, ok := s.Get(k)
+		if !ok || v != k*2 {
+			t.Fatalf("Get(%d) = %d,%v", k, v, ok)
+		}
+	}
+	if _, ok := s.Get(99999); ok {
+		t.Fatal("found absent key")
+	}
+}
+
+func TestFlushAndCompact(t *testing.T) {
+	s := Open(smallKnobs())
+	for k := uint64(0); k < 2000; k++ {
+		s.Put(k, k)
+	}
+	c := s.Counters()
+	if c.Flushes == 0 {
+		t.Fatal("no flushes")
+	}
+	if c.Compactions == 0 {
+		t.Fatal("no compactions with MaxRuns=3")
+	}
+	if s.RunCount() > smallKnobs().MaxRuns+1 {
+		t.Fatalf("run count %d exceeds budget", s.RunCount())
+	}
+}
+
+func TestOverwriteAcrossFlush(t *testing.T) {
+	s := Open(smallKnobs())
+	s.Put(42, 1)
+	for k := uint64(1000); k < 1200; k++ { // force flushes
+		s.Put(k, k)
+	}
+	s.Put(42, 2)
+	if v, _ := s.Get(42); v != 2 {
+		t.Fatalf("newest version lost: %d", v)
+	}
+}
+
+func TestDeleteTombstones(t *testing.T) {
+	s := Open(smallKnobs())
+	s.Put(7, 70)
+	for k := uint64(1000); k < 1100; k++ {
+		s.Put(k, k)
+	}
+	s.Delete(7)
+	if _, ok := s.Get(7); ok {
+		t.Fatal("deleted key visible")
+	}
+	// Force compaction; tombstone must still mask, then vanish.
+	for k := uint64(2000); k < 3000; k++ {
+		s.Put(k, k)
+	}
+	if _, ok := s.Get(7); ok {
+		t.Fatal("deleted key resurrected by compaction")
+	}
+}
+
+func TestDeleteThenReinsert(t *testing.T) {
+	s := Open(smallKnobs())
+	s.Put(5, 1)
+	s.Delete(5)
+	s.Put(5, 2)
+	if v, ok := s.Get(5); !ok || v != 2 {
+		t.Fatalf("reinsert after delete: %d,%v", v, ok)
+	}
+}
+
+func TestScanMergesSources(t *testing.T) {
+	s := Open(smallKnobs())
+	// Old values flushed to runs.
+	for k := uint64(0); k < 300; k++ {
+		s.Put(k, 1)
+	}
+	s.Flush()
+	// Overwrites and deletes in newer runs/memtable.
+	for k := uint64(0); k < 300; k += 3 {
+		s.Put(k, 2)
+	}
+	for k := uint64(1); k < 300; k += 3 {
+		s.Delete(k)
+	}
+	var keys []uint64
+	s.Scan(0, 299, func(k, v uint64) bool {
+		switch k % 3 {
+		case 0:
+			if v != 2 {
+				t.Fatalf("key %d: stale value %d", k, v)
+			}
+		case 1:
+			t.Fatalf("deleted key %d in scan", k)
+		case 2:
+			if v != 1 {
+				t.Fatalf("key %d: value %d", k, v)
+			}
+		}
+		keys = append(keys, k)
+		return true
+	})
+	if len(keys) != 200 {
+		t.Fatalf("scan visited %d, want 200", len(keys))
+	}
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Fatal("scan unsorted")
+	}
+}
+
+func TestScanEarlyStopAndEmptyRange(t *testing.T) {
+	s := Open(smallKnobs())
+	for k := uint64(0); k < 100; k++ {
+		s.Put(k, k)
+	}
+	n := 0
+	s.Scan(0, 99, func(_, _ uint64) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Fatalf("early stop at %d", n)
+	}
+	if s.Scan(50, 10, func(_, _ uint64) bool { return true }) != 0 {
+		t.Fatal("inverted range")
+	}
+}
+
+func TestBloomFiltersSkipRuns(t *testing.T) {
+	with := Open(Knobs{MemtableCap: 64, MaxRuns: 16, SparseEvery: 8, BloomBitsPerKey: 12})
+	without := Open(Knobs{MemtableCap: 64, MaxRuns: 16, SparseEvery: 8, BloomBitsPerKey: 0})
+	for k := uint64(0); k < 3000; k += 2 {
+		with.Put(k, k)
+		without.Put(k, k)
+	}
+	for k := uint64(1); k < 3000; k += 2 { // all misses
+		with.Get(k)
+		without.Get(k)
+	}
+	cw, co := with.Counters(), without.Counters()
+	if cw.BloomNegatives == 0 {
+		t.Fatal("bloom filter never skipped a run")
+	}
+	if cw.RunProbes >= co.RunProbes {
+		t.Fatalf("bloom filters did not reduce probes: %d vs %d", cw.RunProbes, co.RunProbes)
+	}
+}
+
+func TestSetKnobsCompactsImmediately(t *testing.T) {
+	s := Open(Knobs{MemtableCap: 64, MaxRuns: 16, SparseEvery: 8})
+	for k := uint64(0); k < 2000; k++ {
+		s.Put(k, k)
+	}
+	before := s.RunCount()
+	if before < 2 {
+		t.Skipf("need multiple runs, got %d", before)
+	}
+	k := s.Knobs()
+	k.MaxRuns = 1
+	s.SetKnobs(k)
+	if s.RunCount() != 1 {
+		t.Fatalf("re-tune did not compact: %d runs", s.RunCount())
+	}
+	for key := uint64(0); key < 2000; key += 101 {
+		if v, ok := s.Get(key); !ok || v != key {
+			t.Fatalf("Get(%d) after re-tune = %d,%v", key, v, ok)
+		}
+	}
+}
+
+func TestRandomOpsVsModel(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := Open(Knobs{MemtableCap: 128, MaxRuns: 2, SparseEvery: 4, BloomBitsPerKey: 8})
+		r := stats.NewRNG(seed)
+		ref := make(map[uint64]uint64)
+		for op := 0; op < 5000; op++ {
+			k := r.Uint64() % 500 // small space to force overwrites
+			switch r.Intn(4) {
+			case 0, 1:
+				v := r.Uint64()
+				s.Put(k, v)
+				ref[k] = v
+			case 2:
+				s.Delete(k)
+				delete(ref, k)
+			case 3:
+				wantV, wantOK := ref[k]
+				gotV, gotOK := s.Get(k)
+				if gotOK != wantOK || (gotOK && gotV != wantV) {
+					return false
+				}
+			}
+		}
+		// Full scan must equal the model.
+		got := make(map[uint64]uint64)
+		s.Scan(0, ^uint64(0), func(k, v uint64) bool { got[k] = v; return true })
+		if len(got) != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			if got[k] != v {
+				return false
+			}
+		}
+		return s.Len() == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKnobsValidate(t *testing.T) {
+	k := Knobs{MemtableCap: -1, MaxRuns: 0, SparseEvery: 0, BloomBitsPerKey: 100}.Validate()
+	if k.MemtableCap < 64 || k.MaxRuns < 1 || k.SparseEvery < 1 || k.BloomBitsPerKey > 32 {
+		t.Fatalf("validate failed: %+v", k)
+	}
+	if DefaultKnobs().String() == "" {
+		t.Fatal("empty knob string")
+	}
+}
+
+func TestSpaceSizeAndUniqueness(t *testing.T) {
+	sp := Space()
+	if len(sp) != 144 {
+		t.Fatalf("space size = %d", len(sp))
+	}
+	seen := map[string]bool{}
+	for _, k := range sp {
+		s := k.String()
+		if seen[s] {
+			t.Fatalf("duplicate knob point %s", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestBloomNoFalseNegatives(t *testing.T) {
+	b := newBloom(1000, 10)
+	for k := uint64(0); k < 1000; k++ {
+		b.add(k * 7)
+	}
+	for k := uint64(0); k < 1000; k++ {
+		if !b.mayContain(k * 7) {
+			t.Fatalf("false negative for %d", k*7)
+		}
+	}
+}
+
+func TestBloomFalsePositiveRate(t *testing.T) {
+	b := newBloom(10000, 10)
+	for k := uint64(0); k < 10000; k++ {
+		b.add(k)
+	}
+	fp := 0
+	const probes = 10000
+	for k := uint64(1 << 40); k < 1<<40+probes; k++ {
+		if b.mayContain(k) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / probes; rate > 0.05 {
+		t.Fatalf("false positive rate %v too high for 10 bits/key", rate)
+	}
+}
+
+func TestBloomDisabled(t *testing.T) {
+	var b *bloom
+	if !b.mayContain(5) {
+		t.Fatal("nil bloom must say maybe")
+	}
+	b.add(5) // must not panic
+	if newBloom(0, 10) != nil || newBloom(10, 0) != nil {
+		t.Fatal("degenerate blooms must be nil")
+	}
+}
+
+func TestCountersProgress(t *testing.T) {
+	s := Open(smallKnobs())
+	for k := uint64(0); k < 500; k++ {
+		s.Put(k, k)
+	}
+	s.Get(1)
+	s.Delete(2)
+	c := s.Counters()
+	if c.Puts != 500 || c.Gets != 1 || c.Deletes != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+}

@@ -1,0 +1,173 @@
+package metrics
+
+import "fmt"
+
+// BandLevel classifies a completed query's latency relative to the SLA
+// threshold. The paper's Figure 1c uses two categories (within SLA /
+// violating SLA) and suggests "increasing the number of bands and
+// color-coding them appropriately (e.g., green-yellow-orange-red)".
+type BandLevel int
+
+// Band levels from best to worst. Green is within half the SLA, Yellow
+// within the SLA, Orange within 2x the SLA, Red beyond that.
+const (
+	Green BandLevel = iota
+	Yellow
+	Orange
+	Red
+	numLevels
+)
+
+// String returns the color name.
+func (b BandLevel) String() string {
+	switch b {
+	case Green:
+		return "green"
+	case Yellow:
+		return "yellow"
+	case Orange:
+		return "orange"
+	case Red:
+		return "red"
+	default:
+		return fmt.Sprintf("BandLevel(%d)", int(b))
+	}
+}
+
+// ClassifyLatency maps a latency to its band for the given SLA threshold.
+func ClassifyLatency(latency, sla int64) BandLevel {
+	switch {
+	case latency <= sla/2:
+		return Green
+	case latency <= sla:
+		return Yellow
+	case latency <= 2*sla:
+		return Orange
+	default:
+		return Red
+	}
+}
+
+// Interval is one latency band of Figure 1c: the queries completed during
+// one time slice, split by SLA outcome.
+type Interval struct {
+	Start     int64 // ns since run start
+	Completed int64 // total queries completed in the interval
+	WithinSLA int64 // completed within the SLA threshold
+	Violated  int64 // completed but over the SLA threshold
+	ByLevel   [4]int64
+	// OverSLATime is the sum over violated queries of (latency - SLA),
+	// feeding the paper's adjustment-speed single-value metric.
+	OverSLATime int64
+}
+
+// BandTracker accumulates Figure 1c latency bands at a fixed interval
+// width (the paper suggests 1 s or 10 s intervals).
+type BandTracker struct {
+	sla       int64
+	width     int64
+	intervals []Interval
+}
+
+// NewBandTracker returns a tracker with the given SLA threshold and
+// interval width, both in nanoseconds.
+func NewBandTracker(sla, width int64) *BandTracker {
+	if sla <= 0 || width <= 0 {
+		panic("metrics: NewBandTracker with non-positive sla or width")
+	}
+	return &BandTracker{sla: sla, width: width}
+}
+
+// SLA returns the tracker's SLA threshold in nanoseconds.
+func (bt *BandTracker) SLA() int64 { return bt.sla }
+
+// Width returns the interval width in nanoseconds.
+func (bt *BandTracker) Width() int64 { return bt.width }
+
+// Record accounts a query that completed at time t with the given latency.
+// Completions may arrive out of interval order (concurrent workers).
+func (bt *BandTracker) Record(t, latency int64) {
+	if t < 0 {
+		t = 0
+	}
+	idx := int(t / bt.width)
+	for len(bt.intervals) <= idx {
+		bt.intervals = append(bt.intervals, Interval{
+			Start: int64(len(bt.intervals)) * bt.width,
+		})
+	}
+	iv := &bt.intervals[idx]
+	iv.Completed++
+	lvl := ClassifyLatency(latency, bt.sla)
+	iv.ByLevel[lvl]++
+	if latency <= bt.sla {
+		iv.WithinSLA++
+	} else {
+		iv.Violated++
+		iv.OverSLATime += latency - bt.sla
+	}
+}
+
+// Intervals returns the recorded bands in time order. The returned slice is
+// owned by the tracker; callers must not modify it.
+func (bt *BandTracker) Intervals() []Interval { return bt.intervals }
+
+// ViolationRate returns the overall fraction of completed queries that
+// violated the SLA.
+func (bt *BandTracker) ViolationRate() float64 {
+	var done, bad int64
+	for _, iv := range bt.intervals {
+		done += iv.Completed
+		bad += iv.Violated
+	}
+	if done == 0 {
+		return 0
+	}
+	return float64(bad) / float64(done)
+}
+
+// WorstInterval returns the interval with the highest violation count and
+// true, or a zero Interval and false when empty.
+func (bt *BandTracker) WorstInterval() (Interval, bool) {
+	if len(bt.intervals) == 0 {
+		return Interval{}, false
+	}
+	worst := bt.intervals[0]
+	for _, iv := range bt.intervals[1:] {
+		if iv.Violated > worst.Violated {
+			worst = iv
+		}
+	}
+	return worst, true
+}
+
+// AdjustmentSpeed is the paper's single-value adjustment-speed metric: "the
+// sum of query times above the SLA threshold over the first N queries after
+// a distribution change". latencies must be the per-query latencies in
+// completion order starting at the distribution change; n bounds how many
+// are considered.
+func AdjustmentSpeed(latencies []int64, sla int64, n int) int64 {
+	if n > len(latencies) {
+		n = len(latencies)
+	}
+	var sum int64
+	for _, l := range latencies[:n] {
+		if l > sla {
+			sum += l - sla
+		}
+	}
+	return sum
+}
+
+// CalibrateSLA implements the paper's calibration rule: "the SLA threshold
+// should ideally be determined based on a baseline system's query latency
+// statistics on the same hardware and workload distribution". It returns
+// the baseline's q-quantile latency scaled by headroom (e.g. q=0.99,
+// headroom=2 gives twice the baseline p99).
+func CalibrateSLA(baseline *Histogram, q, headroom float64) int64 {
+	v := float64(baseline.Quantile(q)) * headroom
+	if v < 1 {
+		v = 1
+	}
+	return int64(v)
+}

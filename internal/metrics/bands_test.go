@@ -1,0 +1,188 @@
+package metrics
+
+import (
+	"testing"
+)
+
+func TestClassifyLatency(t *testing.T) {
+	const sla = 1000
+	cases := []struct {
+		lat  int64
+		want BandLevel
+	}{
+		{100, Green}, {500, Green}, {501, Yellow}, {1000, Yellow},
+		{1001, Orange}, {2000, Orange}, {2001, Red}, {1 << 40, Red},
+	}
+	for _, c := range cases {
+		if got := ClassifyLatency(c.lat, sla); got != c.want {
+			t.Fatalf("ClassifyLatency(%d) = %v, want %v", c.lat, got, c.want)
+		}
+	}
+}
+
+func TestBandLevelString(t *testing.T) {
+	names := map[BandLevel]string{Green: "green", Yellow: "yellow", Orange: "orange", Red: "red"}
+	for lvl, want := range names {
+		if lvl.String() != want {
+			t.Fatalf("%d.String() = %q", lvl, lvl.String())
+		}
+	}
+	if BandLevel(9).String() == "" {
+		t.Fatal("unknown level must still stringify")
+	}
+}
+
+func TestBandTrackerIntervals(t *testing.T) {
+	bt := NewBandTracker(1000, 1e9) // 1µs SLA, 1s intervals
+	bt.Record(5e8, 500)             // interval 0, within
+	bt.Record(15e8, 1500)           // interval 1, violated
+	bt.Record(15e8, 900)            // interval 1, within
+	ivs := bt.Intervals()
+	if len(ivs) != 2 {
+		t.Fatalf("intervals = %d", len(ivs))
+	}
+	if ivs[0].Completed != 1 || ivs[0].WithinSLA != 1 || ivs[0].Violated != 0 {
+		t.Fatalf("interval 0 = %+v", ivs[0])
+	}
+	if ivs[1].Completed != 2 || ivs[1].WithinSLA != 1 || ivs[1].Violated != 1 {
+		t.Fatalf("interval 1 = %+v", ivs[1])
+	}
+	if ivs[1].OverSLATime != 500 {
+		t.Fatalf("over-SLA time = %d", ivs[1].OverSLATime)
+	}
+	if ivs[1].Start != 1e9 {
+		t.Fatalf("interval 1 start = %d", ivs[1].Start)
+	}
+}
+
+func TestBandTrackerGapsFilled(t *testing.T) {
+	bt := NewBandTracker(1000, 1e9)
+	bt.Record(0, 100)
+	bt.Record(5e9, 100) // skips intervals 1-4
+	ivs := bt.Intervals()
+	if len(ivs) != 6 {
+		t.Fatalf("intervals = %d, want 6", len(ivs))
+	}
+	for i := 1; i <= 4; i++ {
+		if ivs[i].Completed != 0 {
+			t.Fatalf("gap interval %d non-empty", i)
+		}
+	}
+}
+
+func TestBandTrackerOutOfOrder(t *testing.T) {
+	bt := NewBandTracker(1000, 1e9)
+	bt.Record(5e9, 100)
+	bt.Record(1e9, 2000) // earlier completion arriving late
+	ivs := bt.Intervals()
+	if ivs[1].Violated != 1 {
+		t.Fatal("out-of-order record lost")
+	}
+}
+
+func TestBandTrackerNegativeTimeClamped(t *testing.T) {
+	bt := NewBandTracker(1000, 1e9)
+	bt.Record(-50, 100)
+	if bt.Intervals()[0].Completed != 1 {
+		t.Fatal("negative time not clamped into interval 0")
+	}
+}
+
+func TestViolationRate(t *testing.T) {
+	bt := NewBandTracker(1000, 1e9)
+	if bt.ViolationRate() != 0 {
+		t.Fatal("empty violation rate")
+	}
+	for i := 0; i < 80; i++ {
+		bt.Record(int64(i)*1e7, 500)
+	}
+	for i := 0; i < 20; i++ {
+		bt.Record(int64(i)*1e7, 5000)
+	}
+	if r := bt.ViolationRate(); r != 0.2 {
+		t.Fatalf("violation rate = %v", r)
+	}
+}
+
+func TestWorstInterval(t *testing.T) {
+	bt := NewBandTracker(1000, 1e9)
+	if _, ok := bt.WorstInterval(); ok {
+		t.Fatal("empty tracker has no worst interval")
+	}
+	bt.Record(5e8, 5000)  // interval 0: 1 violation
+	bt.Record(15e8, 5000) // interval 1: 2 violations
+	bt.Record(16e8, 5000)
+	w, ok := bt.WorstInterval()
+	if !ok || w.Start != 1e9 || w.Violated != 2 {
+		t.Fatalf("worst = %+v ok=%v", w, ok)
+	}
+}
+
+func TestBandTrackerByLevelSums(t *testing.T) {
+	bt := NewBandTracker(1000, 1e9)
+	lats := []int64{100, 600, 1500, 9999}
+	for _, l := range lats {
+		bt.Record(0, l)
+	}
+	iv := bt.Intervals()[0]
+	var sum int64
+	for _, c := range iv.ByLevel {
+		sum += c
+	}
+	if sum != iv.Completed {
+		t.Fatalf("ByLevel sums to %d, completed %d", sum, iv.Completed)
+	}
+	if iv.ByLevel[Green] != 1 || iv.ByLevel[Yellow] != 1 || iv.ByLevel[Orange] != 1 || iv.ByLevel[Red] != 1 {
+		t.Fatalf("ByLevel = %v", iv.ByLevel)
+	}
+}
+
+func TestBandTrackerPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"sla":   func() { NewBandTracker(0, 1e9) },
+		"width": func() { NewBandTracker(1000, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAdjustmentSpeed(t *testing.T) {
+	lats := []int64{500, 1500, 3000, 800, 2000}
+	// sla=1000, n=5: over-SLA sums = 500 + 2000 + 1000 = 3500
+	if got := AdjustmentSpeed(lats, 1000, 5); got != 3500 {
+		t.Fatalf("AdjustmentSpeed = %d", got)
+	}
+	// n=2 considers only first two: 500
+	if got := AdjustmentSpeed(lats, 1000, 2); got != 500 {
+		t.Fatalf("AdjustmentSpeed(n=2) = %d", got)
+	}
+	// n beyond length clamps
+	if got := AdjustmentSpeed(lats, 1000, 100); got != 3500 {
+		t.Fatalf("AdjustmentSpeed(n=100) = %d", got)
+	}
+	if AdjustmentSpeed(nil, 1000, 10) != 0 {
+		t.Fatal("empty latencies")
+	}
+}
+
+func TestCalibrateSLA(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 1000; i++ {
+		h.Record(1000)
+	}
+	sla := CalibrateSLA(h, 0.99, 2)
+	// p99 of constant 1000 is ~1000 (bucket midpoint), doubled ~2000.
+	if sla < 1500 || sla > 2500 {
+		t.Fatalf("calibrated SLA = %d", sla)
+	}
+	if CalibrateSLA(NewHistogram(), 0.99, 2) < 1 {
+		t.Fatal("empty calibration must be >= 1")
+	}
+}

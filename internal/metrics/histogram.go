@@ -1,0 +1,224 @@
+// Package metrics implements the measurement machinery the paper proposes
+// for learned-system benchmarks (§V-D): descriptive throughput statistics
+// (box plots, Fig 1a), cumulative-completion curves with area-vs-ideal
+// scores (Fig 1b), SLA latency bands with adjustment-speed metrics
+// (Fig 1c), throughput timelines, and adaptation-time detection.
+//
+// All duration quantities are expressed in nanoseconds as int64, matching
+// time.Duration, so the package works identically under the real clock and
+// the simulator's virtual clock.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Histogram is a log-bucketed latency histogram in the spirit of HDR
+// histograms: values are bucketed with bounded relative error (~4.2% with
+// the default 16 sub-buckets per octave), supporting quantile queries
+// without retaining samples. The zero value is not usable; call
+// NewHistogram.
+type Histogram struct {
+	counts     []uint64
+	subBuckets int
+	total      uint64
+	sum        float64
+	min, max   int64
+}
+
+// NewHistogram returns an empty histogram covering [0, 2^62) ns.
+func NewHistogram() *Histogram {
+	const subBuckets = 16
+	// 63 octaves * subBuckets is a safe upper bound on bucket count.
+	return &Histogram{
+		counts:     make([]uint64, 63*subBuckets),
+		subBuckets: subBuckets,
+		min:        math.MaxInt64,
+	}
+}
+
+func (h *Histogram) bucketOf(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < int64(h.subBuckets) {
+		return int(v)
+	}
+	// Octave = position of the highest set bit above the sub-bucket
+	// resolution; sub-bucket = next log2(subBuckets) bits.
+	octave := 63 - leadingZeros(uint64(v))
+	shift := octave - log2int(h.subBuckets)
+	sub := int(v>>uint(shift)) - h.subBuckets
+	return (octave-log2int(h.subBuckets)+1)*h.subBuckets + sub
+}
+
+// bucketLow returns the lowest value mapping to bucket i (inverse of
+// bucketOf for reporting).
+func (h *Histogram) bucketLow(i int) int64 {
+	if i < h.subBuckets {
+		return int64(i)
+	}
+	octaveIdx := i/h.subBuckets - 1
+	sub := i % h.subBuckets
+	shift := octaveIdx
+	return int64(h.subBuckets+sub) << uint(shift)
+}
+
+func leadingZeros(v uint64) int {
+	n := 0
+	if v == 0 {
+		return 64
+	}
+	for v&(1<<63) == 0 {
+		v <<= 1
+		n++
+	}
+	return n
+}
+
+func log2int(v int) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Record adds one observation of v nanoseconds.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	b := h.bucketOf(v)
+	if b >= len(h.counts) {
+		b = len(h.counts) - 1
+	}
+	h.counts[b]++
+	h.total++
+	h.sum += float64(v)
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Mean returns the exact mean of recorded values (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Min returns the exact minimum recorded value (0 when empty).
+func (h *Histogram) Min() int64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the exact maximum recorded value (0 when empty).
+func (h *Histogram) Max() int64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile returns an approximation of the q-quantile (0<=q<=1) with the
+// histogram's relative-error bound. Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	target := uint64(q * float64(h.total))
+	if target >= h.total {
+		target = h.total - 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum > target {
+			lo := h.bucketLow(i)
+			hi := h.bucketLow(i + 1)
+			v := lo + (hi-lo)/2
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// CountAbove returns how many recorded values are (approximately) above the
+// threshold. Values in the threshold's own bucket are counted above only if
+// the bucket midpoint exceeds the threshold, keeping the error within the
+// bucket resolution.
+func (h *Histogram) CountAbove(threshold int64) uint64 {
+	tb := h.bucketOf(threshold)
+	var n uint64
+	for i := tb; i < len(h.counts); i++ {
+		if i == tb {
+			mid := h.bucketLow(i) + (h.bucketLow(i+1)-h.bucketLow(i))/2
+			if mid <= threshold {
+				continue
+			}
+		}
+		n += h.counts[i]
+	}
+	return n
+}
+
+// Merge folds other into h. Both histograms must have been created by
+// NewHistogram (same bucket layout).
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.total == 0 {
+		return
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+	h.sum += other.sum
+	if other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Reset clears the histogram for reuse.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.total = 0
+	h.sum = 0
+	h.min = math.MaxInt64
+	h.max = 0
+}
+
+// String summarizes the histogram for logs.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("hist{n=%d mean=%.0fns p50=%d p99=%d max=%d}",
+		h.total, h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.Max())
+}

@@ -1,0 +1,156 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram not zeroed")
+	}
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty quantile")
+	}
+}
+
+func TestHistogramExactSmallValues(t *testing.T) {
+	h := NewHistogram()
+	for v := int64(0); v < 16; v++ {
+		h.Record(v)
+	}
+	if h.Min() != 0 || h.Max() != 15 || h.Count() != 16 {
+		t.Fatalf("small-value bookkeeping: min=%d max=%d n=%d", h.Min(), h.Max(), h.Count())
+	}
+	if h.Mean() != 7.5 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+}
+
+func TestHistogramQuantileRelativeError(t *testing.T) {
+	r := stats.NewRNG(1)
+	h := NewHistogram()
+	var raw []int64
+	for i := 0; i < 50000; i++ {
+		// Latencies from 100ns to ~100ms, lognormal-ish.
+		v := int64(100 * math.Exp(r.NormFloat64()*2+4))
+		raw = append(raw, v)
+		h.Record(v)
+	}
+	sort.Slice(raw, func(i, j int) bool { return raw[i] < raw[j] })
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99, 0.999} {
+		exact := raw[int(q*float64(len(raw)))]
+		got := h.Quantile(q)
+		relErr := math.Abs(float64(got-exact)) / float64(exact)
+		if relErr > 0.10 {
+			t.Fatalf("q=%v: got %d, exact %d, rel err %v", q, got, exact, relErr)
+		}
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		h := NewHistogram()
+		for i := 0; i < 1000; i++ {
+			h.Record(int64(r.Uint64() % 1e9))
+		}
+		prev := int64(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := h.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramQuantileBounds(t *testing.T) {
+	h := NewHistogram()
+	h.Record(1000)
+	h.Record(2000)
+	if h.Quantile(0) != 1000 || h.Quantile(1) != 2000 {
+		t.Fatalf("quantile edges: %d %d", h.Quantile(0), h.Quantile(1))
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Record(-5)
+	if h.Min() != 0 {
+		t.Fatalf("negative value not clamped: min=%d", h.Min())
+	}
+}
+
+func TestHistogramCountAbove(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 100; i++ {
+		h.Record(1000) // well below
+	}
+	for i := 0; i < 25; i++ {
+		h.Record(1_000_000) // well above
+	}
+	got := h.CountAbove(10_000)
+	if got != 25 {
+		t.Fatalf("CountAbove = %d, want 25", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := 0; i < 100; i++ {
+		a.Record(int64(i) * 100)
+		b.Record(int64(i)*100 + 1_000_000)
+	}
+	a.Merge(b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Max() < 1_000_000 {
+		t.Fatal("merge lost max")
+	}
+	a.Merge(nil) // must not panic
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.Record(5000)
+	h.Reset()
+	if h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("reset incomplete")
+	}
+	h.Record(77)
+	if h.Min() != 77 || h.Max() != 77 {
+		t.Fatal("histogram unusable after reset")
+	}
+}
+
+func TestHistogramStringNonEmpty(t *testing.T) {
+	h := NewHistogram()
+	h.Record(123456)
+	if h.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestBucketRoundTrip(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int64{0, 1, 15, 16, 17, 255, 256, 1 << 20, 1<<40 + 12345} {
+		b := h.bucketOf(v)
+		lo := h.bucketLow(b)
+		hi := h.bucketLow(b + 1)
+		if v < lo || v >= hi {
+			t.Fatalf("value %d not in bucket [%d,%d)", v, lo, hi)
+		}
+	}
+}

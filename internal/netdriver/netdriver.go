@@ -1,0 +1,227 @@
+// Package netdriver runs the benchmark driver and the system under test
+// on opposite ends of a TCP connection, realizing the paper's §V-A setup
+// ("the benchmark driver should ideally run on a separate machine and
+// connect to the system under test over a fast network connection") —
+// over loopback in tests, over a real network in deployments.
+//
+// The wire protocol is a fixed-size binary frame per operation (no
+// allocation, no framing ambiguity):
+//
+//	request:  opType u8 | key u64 | value u64 | scanLimit u32   (21 bytes)
+//	response: found u8  | visited u32 | work u64                (13 bytes)
+//
+// All integers are big-endian.
+package netdriver
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+const (
+	reqSize  = 1 + 8 + 8 + 4
+	respSize = 1 + 4 + 8
+	// opLoadBegin announces a bulk load of n pairs (key/value frames of
+	// 16 bytes each follow); opClose ends the session.
+	opLoadBegin = 250
+	opClose     = 255
+)
+
+// Server exposes a SUT factory over TCP. Each accepted connection gets a
+// fresh SUT instance, so concurrent benchmark runs are isolated.
+type Server struct {
+	ln      net.Listener
+	factory func() core.SUT
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	closed  bool
+}
+
+// Serve starts a server on addr (e.g. "127.0.0.1:0") and returns it. The
+// chosen address is available via Addr.
+func Serve(addr string, factory func() core.SUT) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netdriver: listen: %w", err)
+	}
+	s := &Server{ln: ln, factory: factory}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting and waits for in-flight connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	sut := s.factory()
+	r := bufio.NewReaderSize(conn, 1<<16)
+	w := bufio.NewWriterSize(conn, 1<<16)
+	req := make([]byte, reqSize)
+	resp := make([]byte, respSize)
+	for {
+		if _, err := io.ReadFull(r, req); err != nil {
+			return
+		}
+		opType := req[0]
+		switch opType {
+		case opClose:
+			w.Flush()
+			return
+		case opLoadBegin:
+			n := binary.BigEndian.Uint64(req[1:9])
+			keys := make([]uint64, n)
+			values := make([]uint64, n)
+			pair := make([]byte, 16)
+			for i := uint64(0); i < n; i++ {
+				if _, err := io.ReadFull(r, pair); err != nil {
+					return
+				}
+				keys[i] = binary.BigEndian.Uint64(pair[0:8])
+				values[i] = binary.BigEndian.Uint64(pair[8:16])
+			}
+			sut.Load(keys, values)
+			// Ack with an empty response frame.
+			for i := range resp {
+				resp[i] = 0
+			}
+			resp[0] = 1
+			if _, err := w.Write(resp); err != nil {
+				return
+			}
+			w.Flush()
+		default:
+			op := workload.Op{
+				Type:      workload.OpType(opType),
+				Key:       binary.BigEndian.Uint64(req[1:9]),
+				Value:     binary.BigEndian.Uint64(req[9:17]),
+				ScanLimit: int(binary.BigEndian.Uint32(req[17:21])),
+			}
+			res := sut.Do(op)
+			if res.Found {
+				resp[0] = 1
+			} else {
+				resp[0] = 0
+			}
+			binary.BigEndian.PutUint32(resp[1:5], uint32(res.Visited))
+			binary.BigEndian.PutUint64(resp[5:13], uint64(res.Work))
+			if _, err := w.Write(resp); err != nil {
+				return
+			}
+			// Flush per op: latency fidelity beats batching here.
+			if err := w.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// Client is a core.SUT whose operations execute on a remote Server. It is
+// not safe for concurrent use (matching the SUT contract); open one client
+// per driver worker.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	name string
+	req  [reqSize]byte
+	resp [respSize]byte
+}
+
+// Dial connects to a netdriver server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netdriver: dial: %w", err)
+	}
+	return &Client{
+		conn: conn,
+		r:    bufio.NewReaderSize(conn, 1<<16),
+		name: "remote(" + addr + ")",
+	}, nil
+}
+
+// Name implements core.SUT.
+func (c *Client) Name() string { return c.name }
+
+// Close terminates the session.
+func (c *Client) Close() error {
+	c.req[0] = opClose
+	c.conn.Write(c.req[:])
+	return c.conn.Close()
+}
+
+// Load implements core.SUT by streaming the pairs to the server.
+func (c *Client) Load(keys, values []uint64) {
+	c.req[0] = opLoadBegin
+	binary.BigEndian.PutUint64(c.req[1:9], uint64(len(keys)))
+	if _, err := c.conn.Write(c.req[:]); err != nil {
+		return
+	}
+	buf := bufio.NewWriterSize(c.conn, 1<<16)
+	pair := make([]byte, 16)
+	for i, k := range keys {
+		binary.BigEndian.PutUint64(pair[0:8], k)
+		binary.BigEndian.PutUint64(pair[8:16], values[i])
+		if _, err := buf.Write(pair); err != nil {
+			return
+		}
+	}
+	if err := buf.Flush(); err != nil {
+		return
+	}
+	io.ReadFull(c.r, c.resp[:]) // ack
+}
+
+// Do implements core.SUT.
+func (c *Client) Do(op workload.Op) core.OpResult {
+	c.req[0] = byte(op.Type)
+	binary.BigEndian.PutUint64(c.req[1:9], op.Key)
+	binary.BigEndian.PutUint64(c.req[9:17], op.Value)
+	binary.BigEndian.PutUint32(c.req[17:21], uint32(op.ScanLimit))
+	if _, err := c.conn.Write(c.req[:]); err != nil {
+		return core.OpResult{}
+	}
+	if _, err := io.ReadFull(c.r, c.resp[:]); err != nil {
+		return core.OpResult{}
+	}
+	return core.OpResult{
+		Found:   c.resp[0] == 1,
+		Visited: int(binary.BigEndian.Uint32(c.resp[1:5])),
+		Work:    int64(binary.BigEndian.Uint64(c.resp[5:13])),
+	}
+}
+
+var _ core.SUT = (*Client)(nil)

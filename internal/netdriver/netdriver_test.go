@@ -1,0 +1,138 @@
+package netdriver
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/distgen"
+	"repro/internal/driver"
+	"repro/internal/workload"
+)
+
+func startServer(t *testing.T) *Server {
+	t.Helper()
+	srv, err := Serve("127.0.0.1:0", core.NewBTreeSUT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func TestRemoteOps(t *testing.T) {
+	srv := startServer(t)
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	c.Load([]uint64{10, 20, 30}, []uint64{1, 2, 3})
+
+	if res := c.Do(workload.Op{Type: workload.Get, Key: 20}); !res.Found {
+		t.Fatal("remote Get missed loaded key")
+	}
+	if res := c.Do(workload.Op{Type: workload.Get, Key: 99}); res.Found {
+		t.Fatal("remote Get found absent key")
+	}
+	c.Do(workload.Op{Type: workload.Put, Key: 40, Value: 4})
+	if res := c.Do(workload.Op{Type: workload.Get, Key: 40}); !res.Found {
+		t.Fatal("remote Put lost")
+	}
+	if res := c.Do(workload.Op{Type: workload.Delete, Key: 10}); !res.Found {
+		t.Fatal("remote Delete failed")
+	}
+	res := c.Do(workload.Op{Type: workload.Scan, Key: 0, ScanLimit: 100})
+	if res.Visited != 3 { // 20, 30, 40 remain
+		t.Fatalf("remote Scan visited %d", res.Visited)
+	}
+	if res.Work <= 0 {
+		t.Fatal("no work units over the wire")
+	}
+}
+
+func TestRemoteMatchesLocal(t *testing.T) {
+	srv := startServer(t)
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	local := core.NewBTreeSUT()
+
+	keys := distgen.UniqueKeys(distgen.NewUniform(1, 0, 1<<30), 500)
+	vals := make([]uint64, len(keys))
+	for i := range vals {
+		vals[i] = uint64(i)
+	}
+	c.Load(keys, vals)
+	local.Load(keys, vals)
+
+	gen := workload.NewGenerator(workload.Spec{
+		Mix:    workload.Balanced,
+		Access: distgen.Static{G: distgen.NewUniform(2, 0, 1<<30)},
+	}, 3)
+	gen2 := workload.NewGenerator(workload.Spec{
+		Mix:    workload.Balanced,
+		Access: distgen.Static{G: distgen.NewUniform(2, 0, 1<<30)},
+	}, 3)
+	for i := 0; i < 2000; i++ {
+		op := gen.Next(0.5)
+		op2 := gen2.Next(0.5)
+		r1 := c.Do(op)
+		r2 := local.Do(op2)
+		if r1.Found != r2.Found || r1.Visited != r2.Visited {
+			t.Fatalf("op %d (%+v): remote (%+v) != local (%+v)", i, op, r1, r2)
+		}
+	}
+}
+
+func TestConnectionsIsolated(t *testing.T) {
+	srv := startServer(t)
+	a, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	a.Do(workload.Op{Type: workload.Put, Key: 7, Value: 1})
+	if res := b.Do(workload.Op{Type: workload.Get, Key: 7}); res.Found {
+		t.Fatal("connections share a SUT")
+	}
+}
+
+func TestDriverOverNetwork(t *testing.T) {
+	// The real-time driver runs unchanged against the remote SUT — the
+	// paper's separate-machine setup end to end.
+	srv := startServer(t)
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	res, err := driver.Run(c, workload.Spec{
+		Mix:    workload.ReadHeavy,
+		Access: distgen.Static{G: distgen.NewUniform(4, 0, 1<<30)},
+	}, distgen.NewUniform(5, 0, 1<<30), 1000,
+		driver.Options{Workers: 1, Ops: 2000, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 2000 {
+		t.Fatalf("completed = %d", res.Completed)
+	}
+	if res.Latency.Quantile(0.5) <= 0 {
+		t.Fatal("no network latency measured")
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}

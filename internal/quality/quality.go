@@ -1,0 +1,203 @@
+// Package quality implements the dataset/workload suitability scorer the
+// paper sketches in §V-C: "a software tool that evaluates the quality and
+// relevance of a given dataset for the benchmark. For example, this tool
+// could attribute low marks to uniform data distributions and workloads
+// while favoring datasets exhibiting skew or varying query load."
+//
+// Scores are in [0, 1] per dimension; the overall score is their weighted
+// mean. The tool is deliberately heuristic — its role is to gate obviously
+// uninformative inputs, not to rank good ones precisely.
+package quality
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/similarity"
+)
+
+// Report carries the per-dimension scores for a dataset/workload pair.
+type Report struct {
+	// SkewScore rewards non-uniform key-frequency distributions.
+	SkewScore float64
+	// ShapeScore rewards non-trivial key-space layout (clusters,
+	// segments) that a CDF model must actually learn.
+	ShapeScore float64
+	// DriftScore rewards distribution change across the trace.
+	DriftScore float64
+	// LoadScore rewards varying arrival intensity (bursts, diurnality).
+	LoadScore float64
+	// Overall is the weighted mean.
+	Overall float64
+}
+
+// String renders the report.
+func (r Report) String() string {
+	return fmt.Sprintf("quality{skew=%.2f shape=%.2f drift=%.2f load=%.2f overall=%.2f}",
+		r.SkewScore, r.ShapeScore, r.DriftScore, r.LoadScore, r.Overall)
+}
+
+// Weights for Overall. Drift dominates: it is the property the whole
+// benchmark exists to exercise (Lesson 1).
+const (
+	wSkew  = 0.2
+	wShape = 0.2
+	wDrift = 0.4
+	wLoad  = 0.2
+)
+
+// Score evaluates a key trace (keys in arrival order) and an optional
+// arrival-gap trace (ns between consecutive requests; nil skips LoadScore
+// and re-weights). The trace is split into halves for drift detection.
+func Score(keys []uint64, gaps []int64) Report {
+	var r Report
+	if len(keys) == 0 {
+		return r
+	}
+	r.SkewScore = skewScore(keys)
+	r.ShapeScore = shapeScore(keys)
+	r.DriftScore = driftScore(keys)
+	if len(gaps) > 1 {
+		r.LoadScore = loadScore(gaps)
+		r.Overall = wSkew*r.SkewScore + wShape*r.ShapeScore +
+			wDrift*r.DriftScore + wLoad*r.LoadScore
+	} else {
+		total := wSkew + wShape + wDrift
+		r.Overall = (wSkew*r.SkewScore + wShape*r.ShapeScore + wDrift*r.DriftScore) / total
+	}
+	return r
+}
+
+// skewScore measures key-frequency concentration via normalized entropy:
+// uniform access -> 0, single hot key -> 1.
+func skewScore(keys []uint64) float64 {
+	counts := make(map[uint64]int, len(keys)/2)
+	for _, k := range keys {
+		counts[k]++
+	}
+	n := float64(len(keys))
+	if len(counts) <= 1 {
+		return 1 // one key: maximally skewed
+	}
+	var h float64
+	for _, c := range counts {
+		p := float64(c) / n
+		h -= p * math.Log2(p)
+	}
+	hMax := math.Log2(float64(len(counts)))
+	if hMax == 0 {
+		return 1
+	}
+	return clamp01(1 - h/hMax)
+}
+
+// shapeScore measures how far the sorted key layout departs from a
+// straight line (a perfectly uniform/sequential layout a single linear
+// model fits exactly): the normalized mean absolute deviation of the
+// empirical CDF from linear.
+func shapeScore(keys []uint64) float64 {
+	xs := append([]uint64(nil), keys...)
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	lo, hi := xs[0], xs[len(xs)-1]
+	if hi == lo {
+		return 0
+	}
+	span := float64(hi - lo)
+	n := float64(len(xs) - 1)
+	var dev float64
+	for i, k := range xs {
+		expected := float64(i) / n // linear CDF position
+		actual := float64(k-lo) / span
+		dev += math.Abs(actual - expected)
+	}
+	// Mean deviation of 0.25 (the maximum for a monotone CDF is 0.5)
+	// already indicates strong structure; scale so 0.25 -> 1.
+	return clamp01(dev / float64(len(xs)) * 4)
+}
+
+// driftScore compares the first and last third of the trace with the KS
+// statistic (the same Φ the benchmark uses for Figure 1a).
+func driftScore(keys []uint64) float64 {
+	if len(keys) < 6 {
+		return 0
+	}
+	third := len(keys) / 3
+	early := keys[:third]
+	late := keys[len(keys)-third:]
+	// KS in [0,1]; same-distribution noise gives small values. Rescale
+	// so KS >= 0.5 saturates.
+	return clamp01(similarity.KS(early, late) * 2)
+}
+
+// loadScore measures arrival-intensity variation: the coefficient of
+// variation of per-window arrival counts, saturating at 1.
+func loadScore(gaps []int64) float64 {
+	if len(gaps) < 10 {
+		return 0
+	}
+	// Bucket arrivals into 20 equal time windows.
+	var total int64
+	for _, g := range gaps {
+		if g < 0 {
+			g = 0
+		}
+		total += g
+	}
+	if total == 0 {
+		return 0
+	}
+	const windows = 20
+	counts := make([]float64, windows)
+	var t int64
+	for _, g := range gaps {
+		if g < 0 {
+			g = 0
+		}
+		t += g
+		w := int(float64(t) / float64(total) * windows)
+		if w >= windows {
+			w = windows - 1
+		}
+		counts[w]++
+	}
+	var mean float64
+	for _, c := range counts {
+		mean += c
+	}
+	mean /= windows
+	if mean == 0 {
+		return 0
+	}
+	var varSum float64
+	for _, c := range counts {
+		d := c - mean
+		varSum += d * d
+	}
+	cv := math.Sqrt(varSum/windows) / mean
+	return clamp01(cv)
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// Grade maps an overall score to the coarse verdict the CLI prints.
+func Grade(overall float64) string {
+	switch {
+	case overall >= 0.6:
+		return "excellent benchmark input"
+	case overall >= 0.4:
+		return "good benchmark input"
+	case overall >= 0.2:
+		return "marginal: consider adding drift or skew"
+	default:
+		return "poor: too uniform/static to exercise a learned system"
+	}
+}

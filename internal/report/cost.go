@@ -1,0 +1,140 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/cost"
+)
+
+// CostPlot renders Figure 1d: throughput versus cost for a learned system
+// (smooth-ish curve across training budgets) against a traditional system
+// (manual-tuning step function), plus the training-cost-to-outperform
+// metric.
+func CostPlot(w io.Writer, title string, learned, traditional cost.Curve, width, height int) {
+	if width < 40 {
+		width = 40
+	}
+	if height < 8 {
+		height = 8
+	}
+	all := append(append(cost.Curve{}, learned...), traditional...)
+	if len(all) == 0 {
+		fmt.Fprintf(w, "%s\n(no data)\n", title)
+		return
+	}
+	var maxD, maxT float64
+	for _, p := range all {
+		if p.Dollars > maxD {
+			maxD = p.Dollars
+		}
+		if p.Throughput > maxT {
+			maxT = p.Throughput
+		}
+	}
+	if maxD == 0 {
+		maxD = 1
+	}
+	if maxT == 0 {
+		maxT = 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	plot := func(c cost.Curve, mark byte) {
+		// Step semantics: best throughput affordable at each budget.
+		for col := 0; col < width; col++ {
+			budget := float64(col) / float64(width-1) * maxD
+			tp := c.At(budget)
+			if tp <= 0 {
+				continue
+			}
+			row := height - 1 - int(tp/maxT*float64(height-1))
+			if row < 0 {
+				row = 0
+			}
+			if grid[row][col] == ' ' {
+				grid[row][col] = mark
+			} else if grid[row][col] != mark {
+				grid[row][col] = '&'
+			}
+		}
+	}
+	plot(traditional, 'T')
+	plot(learned, 'L')
+
+	fmt.Fprintf(w, "%s\n", title)
+	for _, row := range grid {
+		fmt.Fprintf(w, "|%s\n", string(row))
+	}
+	fmt.Fprintf(w, "+%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(w, "$0 .. $%.2f, ymax=%.1f ops/s  (L=learned, T=traditional/DBA)\n", maxD, maxT)
+
+	if d, p, err := cost.TrainingCostToOutperform(learned, traditional); err == nil {
+		fmt.Fprintf(w, "training cost to outperform best traditional: $%.2f (%s)\n", d, p.Label)
+	} else {
+		fmt.Fprintf(w, "learned system never outperforms the tuned traditional baseline\n")
+	}
+	if d, err := cost.CrossoverBudget(learned, traditional); err == nil {
+		fmt.Fprintf(w, "equal-spend crossover budget: $%.2f\n", d)
+	}
+}
+
+// CostCSV emits the Fig 1d series.
+func CostCSV(w io.Writer, learned, traditional cost.Curve) {
+	fmt.Fprintln(w, "system,dollars,throughput,label")
+	emit := func(name string, c cost.Curve) {
+		s := append(cost.Curve(nil), c...)
+		s.Sort()
+		for _, p := range s {
+			fmt.Fprintf(w, "%s,%.4f,%.4f,%s\n", name, p.Dollars, p.Throughput, csvEscape(p.Label))
+		}
+	}
+	emit("learned", learned)
+	emit("traditional", traditional)
+}
+
+// Table renders rows as an aligned text table. header sets column names;
+// each row must have the same width.
+func Table(w io.Writer, header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range rows {
+		line(r)
+	}
+}
+
+// SortedKeys returns map keys sorted (report helper).
+func SortedKeys[M ~map[string]V, V any](m M) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

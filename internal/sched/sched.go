@@ -1,0 +1,314 @@
+// Package sched implements the job-scheduling substrate for the
+// benchmark's learned-scheduling experiments — the paper cites learned
+// scheduling policies (Mao et al. [30]) among the components a learned-
+// systems benchmark must cover.
+//
+// The model is a single non-preemptive server: jobs of several types
+// arrive over virtual time; each type has a duration distribution the
+// scheduler cannot see. Policies differ in what they know:
+//
+//   - FIFO        — order of arrival, no knowledge.
+//   - OracleSJF   — shortest true duration first (offline upper bound).
+//   - StaticSJF   — shortest-first by per-type estimates measured once in
+//     a training phase; silently stale after drift.
+//   - LearnedSJF  — shortest-first by per-type online EMA predictions,
+//     updated from every completion; adapts to drift at the
+//     cost of charged training work.
+//
+// The benchmark metric is mean/percentile job sojourn time (completion −
+// arrival), measured per interval so drift effects are visible.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/stats"
+)
+
+// Job is one unit of work. TrueDuration is hidden from policies except
+// the oracle.
+type Job struct {
+	ID           int
+	Type         int
+	ArrivalNs    int64
+	TrueDuration int64
+}
+
+// Policy selects which queued job runs next. Policies may learn from
+// completions via Observe.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Pick returns the index (into queued) of the job to run next.
+	// queued is never empty.
+	Pick(queued []Job) int
+	// Observe reports a completed job's measured duration.
+	Observe(job Job, measured int64)
+	// TrainWork returns cumulative model updates (0 for static).
+	TrainWork() int64
+}
+
+// FIFO runs jobs in arrival order.
+type FIFO struct{}
+
+// Name implements Policy.
+func (FIFO) Name() string { return "fifo" }
+
+// Pick implements Policy.
+func (FIFO) Pick(queued []Job) int {
+	best := 0
+	for i, j := range queued {
+		if j.ArrivalNs < queued[best].ArrivalNs {
+			best = i
+		}
+	}
+	return best
+}
+
+// Observe implements Policy.
+func (FIFO) Observe(Job, int64) {}
+
+// TrainWork implements Policy.
+func (FIFO) TrainWork() int64 { return 0 }
+
+// OracleSJF picks the job with the smallest true duration — unrealizable
+// in practice, the experiment's upper bound.
+type OracleSJF struct{}
+
+// Name implements Policy.
+func (OracleSJF) Name() string { return "oracle-sjf" }
+
+// Pick implements Policy.
+func (OracleSJF) Pick(queued []Job) int {
+	best := 0
+	for i, j := range queued {
+		if j.TrueDuration < queued[best].TrueDuration {
+			best = i
+		}
+	}
+	return best
+}
+
+// Observe implements Policy.
+func (OracleSJF) Observe(Job, int64) {}
+
+// TrainWork implements Policy.
+func (OracleSJF) TrainWork() int64 { return 0 }
+
+// StaticSJF schedules by fixed per-type duration estimates (a training
+// sample taken before execution). Types absent from the estimates get the
+// global mean.
+type StaticSJF struct {
+	Estimates map[int]float64
+	global    float64
+}
+
+// NewStaticSJF builds the policy from a training sample of jobs (the
+// separate training phase of §V-B, charged by the experiment).
+func NewStaticSJF(sample []Job) *StaticSJF {
+	sum := make(map[int]float64)
+	n := make(map[int]int)
+	var gsum float64
+	for _, j := range sample {
+		sum[j.Type] += float64(j.TrueDuration)
+		n[j.Type]++
+		gsum += float64(j.TrueDuration)
+	}
+	est := make(map[int]float64, len(sum))
+	for t, s := range sum {
+		est[t] = s / float64(n[t])
+	}
+	g := 1.0
+	if len(sample) > 0 {
+		g = gsum / float64(len(sample))
+	}
+	return &StaticSJF{Estimates: est, global: g}
+}
+
+// Name implements Policy.
+func (s *StaticSJF) Name() string { return "static-sjf" }
+
+func (s *StaticSJF) estimate(t int) float64 {
+	if e, ok := s.Estimates[t]; ok {
+		return e
+	}
+	return s.global
+}
+
+// Pick implements Policy.
+func (s *StaticSJF) Pick(queued []Job) int {
+	best := 0
+	for i, j := range queued {
+		if s.estimate(j.Type) < s.estimate(queued[best].Type) {
+			best = i
+		}
+	}
+	return best
+}
+
+// Observe implements Policy (static: learns nothing).
+func (s *StaticSJF) Observe(Job, int64) {}
+
+// TrainWork implements Policy.
+func (s *StaticSJF) TrainWork() int64 { return 0 }
+
+// LearnedSJF predicts per-type durations with an online EMA and schedules
+// shortest-predicted-first. Unknown types get an optimistic small default
+// so they are tried quickly (exploration).
+type LearnedSJF struct {
+	alpha float64
+	est   map[int]float64
+	work  int64
+}
+
+// NewLearnedSJF returns a learned scheduler with EMA factor alpha in
+// (0, 1]; 0 defaults to 0.2.
+func NewLearnedSJF(alpha float64) *LearnedSJF {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.2
+	}
+	return &LearnedSJF{alpha: alpha, est: make(map[int]float64)}
+}
+
+// Name implements Policy.
+func (l *LearnedSJF) Name() string { return "learned-sjf" }
+
+func (l *LearnedSJF) estimate(t int) float64 {
+	if e, ok := l.est[t]; ok {
+		return e
+	}
+	return 1 // optimistic: run unknown types soon to learn them
+}
+
+// Pick implements Policy.
+func (l *LearnedSJF) Pick(queued []Job) int {
+	best := 0
+	for i, j := range queued {
+		if l.estimate(j.Type) < l.estimate(queued[best].Type) {
+			best = i
+		}
+	}
+	return best
+}
+
+// Observe implements Policy: online EMA update.
+func (l *LearnedSJF) Observe(job Job, measured int64) {
+	l.work++
+	if e, ok := l.est[job.Type]; ok {
+		l.est[job.Type] = (1-l.alpha)*e + l.alpha*float64(measured)
+	} else {
+		l.est[job.Type] = float64(measured)
+	}
+}
+
+// TrainWork implements Policy.
+func (l *LearnedSJF) TrainWork() int64 { return l.work }
+
+// Result carries a simulation's outcome.
+type Result struct {
+	Policy string
+	// Sojourn is the distribution of completion - arrival times.
+	Sojourn *metrics.Histogram
+	// MeanSojournNs is the exact mean.
+	MeanSojournNs float64
+	Completed     int
+	TrainWork     int64
+}
+
+// Simulate runs jobs (sorted by ArrivalNs) through a single server under
+// the policy, on virtual time.
+func Simulate(jobs []Job, p Policy) Result {
+	sorted := append([]Job(nil), jobs...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return sorted[i].ArrivalNs < sorted[j].ArrivalNs
+	})
+	res := Result{Policy: p.Name(), Sojourn: metrics.NewHistogram()}
+	var queued []Job
+	now := int64(0)
+	next := 0
+	var sum float64
+	for next < len(sorted) || len(queued) > 0 {
+		// Admit everything that has arrived.
+		for next < len(sorted) && sorted[next].ArrivalNs <= now {
+			queued = append(queued, sorted[next])
+			next++
+		}
+		if len(queued) == 0 {
+			now = sorted[next].ArrivalNs
+			continue
+		}
+		i := p.Pick(queued)
+		job := queued[i]
+		queued = append(queued[:i], queued[i+1:]...)
+		if job.ArrivalNs > now {
+			now = job.ArrivalNs
+		}
+		now += job.TrueDuration
+		p.Observe(job, job.TrueDuration)
+		sojourn := now - job.ArrivalNs
+		res.Sojourn.Record(sojourn)
+		sum += float64(sojourn)
+		res.Completed++
+	}
+	if res.Completed > 0 {
+		res.MeanSojournNs = sum / float64(res.Completed)
+	}
+	res.TrainWork = p.TrainWork()
+	return res
+}
+
+// WorkloadOptions configures the drifting job workload.
+type WorkloadOptions struct {
+	// Jobs is the total job count.
+	Jobs int
+	// Types is the number of job types.
+	Types int
+	// MeanGapNs is the mean inter-arrival gap.
+	MeanGapNs float64
+	// DriftAt in (0,1): at this fraction of the trace, type durations are
+	// permuted (the fast types become slow and vice versa). 0 disables.
+	DriftAt float64
+	Seed    uint64
+}
+
+// GenerateJobs builds a drifting job trace: each type's duration is
+// lognormal around a type-specific mean; at DriftAt the mean assignment is
+// reversed, invalidating any estimate trained before.
+func GenerateJobs(o WorkloadOptions) []Job {
+	if o.Jobs <= 0 || o.Types <= 0 {
+		return nil
+	}
+	rng := stats.NewRNG(o.Seed)
+	// Type means spread geometrically: type 0 fast ... type k slow.
+	means := make([]float64, o.Types)
+	base := 10_000.0 // 10µs
+	for i := range means {
+		means[i] = base * float64(int(1)<<uint(i))
+	}
+	driftIdx := o.Jobs + 1
+	if o.DriftAt > 0 && o.DriftAt < 1 {
+		driftIdx = int(o.DriftAt * float64(o.Jobs))
+	}
+	jobs := make([]Job, o.Jobs)
+	t := int64(0)
+	for i := range jobs {
+		gap := rng.ExpFloat64() * o.MeanGapNs
+		t += int64(gap)
+		typ := rng.Intn(o.Types)
+		mean := means[typ]
+		if i >= driftIdx {
+			mean = means[o.Types-1-typ] // permuted after drift
+		}
+		d := mean * (0.5 + rng.Float64()) // +/-50% noise
+		jobs[i] = Job{ID: i, Type: typ, ArrivalNs: t, TrueDuration: int64(d)}
+	}
+	return jobs
+}
+
+// String renders a result line.
+func (r Result) String() string {
+	return fmt.Sprintf("%s: mean sojourn %.3fms over %d jobs (train %d)",
+		r.Policy, r.MeanSojournNs/1e6, r.Completed, r.TrainWork)
+}

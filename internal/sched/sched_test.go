@@ -1,0 +1,150 @@
+package sched
+
+import (
+	"testing"
+)
+
+func steadyJobs(n int, seed uint64) []Job {
+	return GenerateJobs(WorkloadOptions{
+		Jobs: n, Types: 6, MeanGapNs: 120_000, Seed: seed,
+	})
+}
+
+func driftJobs(n int, seed uint64) []Job {
+	return GenerateJobs(WorkloadOptions{
+		Jobs: n, Types: 6, MeanGapNs: 120_000, DriftAt: 0.5, Seed: seed,
+	})
+}
+
+func TestGenerateJobsShape(t *testing.T) {
+	jobs := steadyJobs(5000, 1)
+	if len(jobs) != 5000 {
+		t.Fatalf("jobs = %d", len(jobs))
+	}
+	prev := int64(-1)
+	types := map[int]bool{}
+	for _, j := range jobs {
+		if j.ArrivalNs < prev {
+			t.Fatal("arrivals not monotone")
+		}
+		prev = j.ArrivalNs
+		if j.TrueDuration <= 0 {
+			t.Fatal("non-positive duration")
+		}
+		types[j.Type] = true
+	}
+	if len(types) != 6 {
+		t.Fatalf("saw %d types", len(types))
+	}
+	if GenerateJobs(WorkloadOptions{}) != nil {
+		t.Fatal("degenerate options must return nil")
+	}
+}
+
+func TestSimulateCompletesEverything(t *testing.T) {
+	jobs := steadyJobs(3000, 2)
+	for _, p := range []Policy{FIFO{}, OracleSJF{}, NewLearnedSJF(0)} {
+		res := Simulate(jobs, p)
+		if res.Completed != len(jobs) {
+			t.Fatalf("%s completed %d", p.Name(), res.Completed)
+		}
+		if res.MeanSojournNs <= 0 {
+			t.Fatalf("%s mean sojourn %v", p.Name(), res.MeanSojournNs)
+		}
+		if res.String() == "" {
+			t.Fatal("empty result string")
+		}
+	}
+}
+
+func TestOracleBeatsFIFO(t *testing.T) {
+	jobs := steadyJobs(5000, 3)
+	fifo := Simulate(jobs, FIFO{})
+	oracle := Simulate(jobs, OracleSJF{})
+	if oracle.MeanSojournNs >= fifo.MeanSojournNs {
+		t.Fatalf("oracle (%v) not below FIFO (%v)",
+			oracle.MeanSojournNs, fifo.MeanSojournNs)
+	}
+}
+
+func TestLearnedApproachesOracleSteadyState(t *testing.T) {
+	jobs := steadyJobs(8000, 4)
+	oracle := Simulate(jobs, OracleSJF{})
+	learned := Simulate(jobs, NewLearnedSJF(0))
+	fifo := Simulate(jobs, FIFO{})
+	if learned.MeanSojournNs >= fifo.MeanSojournNs {
+		t.Fatalf("learned (%v) not below FIFO (%v)", learned.MeanSojournNs, fifo.MeanSojournNs)
+	}
+	// Within 2x of the oracle on a stationary workload.
+	if learned.MeanSojournNs > 2*oracle.MeanSojournNs {
+		t.Fatalf("learned (%v) too far from oracle (%v)",
+			learned.MeanSojournNs, oracle.MeanSojournNs)
+	}
+	if learned.TrainWork == 0 {
+		t.Fatal("no training work recorded")
+	}
+}
+
+func TestStaticGoesStaleUnderDrift(t *testing.T) {
+	// Train the static policy on pre-drift jobs, then run the drifting
+	// trace: the learned policy must beat it (it re-learns the permuted
+	// durations), and both must beat FIFO... FIFO is duration-oblivious
+	// so only the first claim is structural.
+	jobs := driftJobs(10000, 5)
+	static := NewStaticSJF(jobs[:1000])
+	sres := Simulate(jobs, static)
+	lres := Simulate(jobs, NewLearnedSJF(0))
+	if lres.MeanSojournNs >= sres.MeanSojournNs {
+		t.Fatalf("learned (%v) not below stale static (%v) under drift",
+			lres.MeanSojournNs, sres.MeanSojournNs)
+	}
+}
+
+func TestStaticMatchesLearnedWithoutDrift(t *testing.T) {
+	// Sanity: absent drift, a well-trained static estimate is
+	// competitive (within 25%) with online learning.
+	jobs := steadyJobs(8000, 6)
+	static := NewStaticSJF(jobs[:1000])
+	sres := Simulate(jobs, static)
+	lres := Simulate(jobs, NewLearnedSJF(0))
+	ratio := sres.MeanSojournNs / lres.MeanSojournNs
+	if ratio > 1.25 || ratio < 0.75 {
+		t.Fatalf("static/learned ratio %v outside parity band", ratio)
+	}
+}
+
+func TestStaticSJFUnknownType(t *testing.T) {
+	s := NewStaticSJF([]Job{{Type: 0, TrueDuration: 100}})
+	// Unknown type falls back to the global mean without panicking.
+	idx := s.Pick([]Job{{Type: 99}, {Type: 0}})
+	if idx < 0 || idx > 1 {
+		t.Fatalf("pick = %d", idx)
+	}
+	if NewStaticSJF(nil).estimate(5) <= 0 {
+		t.Fatal("empty-sample estimate must be positive")
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	jobs := driftJobs(4000, 7)
+	a := Simulate(jobs, NewLearnedSJF(0))
+	b := Simulate(jobs, NewLearnedSJF(0))
+	if a.MeanSojournNs != b.MeanSojournNs {
+		t.Fatal("simulation not deterministic")
+	}
+}
+
+func TestSimulateIdleGaps(t *testing.T) {
+	// Jobs separated by huge gaps: sojourn = service time exactly.
+	jobs := []Job{
+		{ID: 0, ArrivalNs: 0, TrueDuration: 100},
+		{ID: 1, ArrivalNs: 1_000_000, TrueDuration: 200},
+	}
+	res := Simulate(jobs, FIFO{})
+	if res.Completed != 2 {
+		t.Fatal("jobs lost")
+	}
+	if res.Sojourn.Max() > 210 {
+		t.Fatalf("idle-gap sojourn inflated: %d", res.Sojourn.Max())
+	}
+}

@@ -1,0 +1,72 @@
+package similarity
+
+import "strings"
+
+// Tree is a generic labeled ordered tree used to describe query plans or
+// query shapes. The workload-similarity metric of §V-D1 ("Jaccard
+// similarity between the sets of all subtrees of the query tree for all
+// queries in the workload") is computed by canonically serializing every
+// subtree of every query in a workload into a set and comparing the sets.
+type Tree struct {
+	Label    string
+	Children []*Tree
+}
+
+// NewTree returns a tree node with the given label and children.
+func NewTree(label string, children ...*Tree) *Tree {
+	return &Tree{Label: label, Children: children}
+}
+
+// Canon returns the canonical serialization of the whole tree:
+// label(child1,child2,...). Two trees have equal Canon strings iff they are
+// structurally identical with identical labels.
+func (t *Tree) Canon() string {
+	var sb strings.Builder
+	t.canon(&sb)
+	return sb.String()
+}
+
+func (t *Tree) canon(sb *strings.Builder) {
+	sb.WriteString(t.Label)
+	if len(t.Children) == 0 {
+		return
+	}
+	sb.WriteByte('(')
+	for i, c := range t.Children {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		c.canon(sb)
+	}
+	sb.WriteByte(')')
+}
+
+// Subtrees adds the canonical form of every subtree rooted at every node of
+// t into set.
+func (t *Tree) Subtrees(set map[string]struct{}) {
+	set[t.Canon()] = struct{}{}
+	for _, c := range t.Children {
+		c.Subtrees(set)
+	}
+}
+
+// SubtreeSet returns the set of all subtree canonical forms across the given
+// query trees — the per-workload feature set for WorkloadJaccard.
+func SubtreeSet(queries []*Tree) map[string]struct{} {
+	set := make(map[string]struct{})
+	for _, q := range queries {
+		if q != nil {
+			q.Subtrees(set)
+		}
+	}
+	return set
+}
+
+// WorkloadJaccard returns the Jaccard similarity between two workloads
+// represented by their query trees, per the paper's §V-D1 proposal.
+func WorkloadJaccard(a, b []*Tree) float64 {
+	return Jaccard(SubtreeSet(a), SubtreeSet(b))
+}
+
+// WorkloadDistance is 1 - WorkloadJaccard (0 = identical workloads).
+func WorkloadDistance(a, b []*Tree) float64 { return 1 - WorkloadJaccard(a, b) }

@@ -1,0 +1,145 @@
+package sqlmini
+
+import "fmt"
+
+// ExecStats counts the work an execution performed. RowsTouched is the
+// engine's deterministic cost unit: every row an operator reads, probes,
+// or emits increments it, so two plans for the same query are comparable
+// without wall-clock noise.
+type ExecStats struct {
+	RowsTouched int
+	RowsOut     int
+	HashBuilds  int
+}
+
+// Execute runs the plan and returns the result rows (as flat tuples over
+// OutputColumns order) plus execution statistics. It returns an error for
+// malformed plans (unresolvable join columns).
+func Execute(p *Plan) ([][]uint64, ExecStats, error) {
+	var st ExecStats
+	rows, err := execNode(p, &st)
+	if err != nil {
+		return nil, st, err
+	}
+	st.RowsOut = len(rows)
+	return rows, st, nil
+}
+
+func execNode(p *Plan, st *ExecStats) ([][]uint64, error) {
+	if p.IsLeaf() {
+		return execScan(p, st)
+	}
+	left, err := execNode(p.Left, st)
+	if err != nil {
+		return nil, err
+	}
+	right, err := execNode(p.Right, st)
+	if err != nil {
+		return nil, err
+	}
+	li, err := resolve(p.Left.OutputColumns(), p.LeftCol)
+	if err != nil {
+		return nil, err
+	}
+	ri, err := resolve(p.Right.OutputColumns(), p.RightCol)
+	if err != nil {
+		return nil, err
+	}
+	switch p.Algo {
+	case HashJoin:
+		return execHashJoin(left, right, li, ri, st), nil
+	case NestedLoopJoin:
+		return execNLJoin(left, right, li, ri, st), nil
+	default:
+		return nil, fmt.Errorf("sqlmini: unknown join algorithm %d", p.Algo)
+	}
+}
+
+func execScan(p *Plan, st *ExecStats) ([][]uint64, error) {
+	idxs := make([]int, len(p.Preds))
+	for i, pr := range p.Preds {
+		if !p.Table.HasCol(pr.Column) {
+			return nil, fmt.Errorf("sqlmini: predicate column %q not in table %s", pr.Column, p.Table.Name)
+		}
+		idxs[i] = p.Table.Col(pr.Column)
+	}
+	var out [][]uint64
+	for _, row := range p.Table.Rows {
+		st.RowsTouched++
+		ok := true
+		for i, pr := range p.Preds {
+			if !pr.Matches(row[idxs[i]]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+// execHashJoin builds a hash table on the smaller input and probes with
+// the larger — cost ~ |build| + |probe| + |output|.
+func execHashJoin(left, right [][]uint64, li, ri int, st *ExecStats) [][]uint64 {
+	buildRows, probeRows := left, right
+	bi, pi := li, ri
+	buildIsLeft := true
+	if len(right) < len(left) {
+		buildRows, probeRows = right, left
+		bi, pi = ri, li
+		buildIsLeft = false
+	}
+	st.HashBuilds++
+	ht := make(map[uint64][]int, len(buildRows))
+	for i, row := range buildRows {
+		st.RowsTouched++
+		ht[row[bi]] = append(ht[row[bi]], i)
+	}
+	var out [][]uint64
+	for _, prow := range probeRows {
+		st.RowsTouched++
+		for _, bidx := range ht[prow[pi]] {
+			st.RowsTouched++
+			brow := buildRows[bidx]
+			var l, r []uint64
+			if buildIsLeft {
+				l, r = brow, prow
+			} else {
+				l, r = prow, brow
+			}
+			joined := make([]uint64, 0, len(l)+len(r))
+			joined = append(joined, l...)
+			joined = append(joined, r...)
+			out = append(out, joined)
+		}
+	}
+	return out
+}
+
+// execNLJoin is the quadratic baseline — cost ~ |left| * |right|. It only
+// wins for tiny inputs (no hash-build overhead), which gives the learned
+// steering something real to discover.
+func execNLJoin(left, right [][]uint64, li, ri int, st *ExecStats) [][]uint64 {
+	var out [][]uint64
+	for _, l := range left {
+		for _, r := range right {
+			st.RowsTouched++
+			if l[li] == r[ri] {
+				joined := make([]uint64, 0, len(l)+len(r))
+				joined = append(joined, l...)
+				joined = append(joined, r...)
+				out = append(out, joined)
+			}
+		}
+	}
+	return out
+}
+
+// Cost executes the plan purely for its cost (rows touched), discarding
+// rows. It is the measurement primitive of the optimizer experiments.
+func Cost(p *Plan) (int, error) {
+	_, st, err := Execute(p)
+	return st.RowsTouched, err
+}

@@ -1,0 +1,151 @@
+package sqlmini
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/similarity"
+)
+
+// JoinAlgo selects the physical join implementation.
+type JoinAlgo int
+
+// Physical join algorithms.
+const (
+	HashJoin JoinAlgo = iota
+	NestedLoopJoin
+)
+
+// String names the algorithm.
+func (a JoinAlgo) String() string {
+	if a == HashJoin {
+		return "hashjoin"
+	}
+	return "nljoin"
+}
+
+// Plan is a physical query plan node: either a filtered table scan (leaf)
+// or a join of two sub-plans on one column from each side.
+type Plan struct {
+	// Leaf fields.
+	Table *Table
+	Preds []Predicate
+
+	// Join fields (Table == nil).
+	Algo     JoinAlgo
+	Left     *Plan
+	Right    *Plan
+	LeftCol  string // column name resolved in the left subtree's output
+	RightCol string
+}
+
+// IsLeaf reports whether the node is a scan.
+func (p *Plan) IsLeaf() bool { return p.Table != nil }
+
+// NewScan returns a scan plan over t with optional predicates.
+func NewScan(t *Table, preds ...Predicate) *Plan {
+	return &Plan{Table: t, Preds: preds}
+}
+
+// NewJoin returns a join plan of two sub-plans on leftCol = rightCol.
+func NewJoin(algo JoinAlgo, left, right *Plan, leftCol, rightCol string) *Plan {
+	return &Plan{Algo: algo, Left: left, Right: right, LeftCol: leftCol, RightCol: rightCol}
+}
+
+// OutputColumns lists the column names produced by the plan, qualified as
+// table.column to stay unique across joins.
+func (p *Plan) OutputColumns() []string {
+	if p.IsLeaf() {
+		out := make([]string, len(p.Table.Columns))
+		for i, c := range p.Table.Columns {
+			out[i] = p.Table.Name + "." + c
+		}
+		return out
+	}
+	return append(p.Left.OutputColumns(), p.Right.OutputColumns()...)
+}
+
+// resolve finds the output position of a column referenced either
+// qualified (table.column) or bare (first match wins).
+func resolve(cols []string, name string) (int, error) {
+	for i, c := range cols {
+		if c == name {
+			return i, nil
+		}
+	}
+	if !strings.Contains(name, ".") {
+		suffix := "." + name
+		for i, c := range cols {
+			if strings.HasSuffix(c, suffix) {
+				return i, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("sqlmini: column %q not in output %v", name, cols)
+}
+
+// String renders the plan in one line, e.g.
+// hashjoin(scan(orders),scan(users[id >= 5])).
+func (p *Plan) String() string {
+	var sb strings.Builder
+	p.describe(&sb)
+	return sb.String()
+}
+
+func (p *Plan) describe(sb *strings.Builder) {
+	if p.IsLeaf() {
+		sb.WriteString("scan(")
+		sb.WriteString(p.Table.Name)
+		if len(p.Preds) > 0 {
+			sb.WriteByte('[')
+			for i, pr := range p.Preds {
+				if i > 0 {
+					sb.WriteString(" and ")
+				}
+				sb.WriteString(pr.String())
+			}
+			sb.WriteByte(']')
+		}
+		sb.WriteByte(')')
+		return
+	}
+	sb.WriteString(p.Algo.String())
+	sb.WriteByte('(')
+	p.Left.describe(sb)
+	sb.WriteByte(',')
+	p.Right.describe(sb)
+	sb.WriteByte(')')
+}
+
+// Tree converts the plan into the similarity package's generic tree so
+// workloads can be compared by the paper's plan-subtree Jaccard metric.
+// Labels carry the operator and, for scans, the table and predicate
+// *shape* (columns and operators, not literals), so two instances of the
+// same query template map to the same subtrees.
+func (p *Plan) Tree() *similarity.Tree {
+	if p.IsLeaf() {
+		label := "scan:" + p.Table.Name
+		for _, pr := range p.Preds {
+			label += ":" + pr.Column + pr.Op.String()
+		}
+		return similarity.NewTree(label)
+	}
+	label := fmt.Sprintf("%s:%s=%s", p.Algo, p.LeftCol, p.RightCol)
+	return similarity.NewTree(label, p.Left.Tree(), p.Right.Tree())
+}
+
+// Tables returns the distinct base tables referenced by the plan.
+func (p *Plan) Tables() []*Table {
+	var out []*Table
+	var walk func(*Plan)
+	walk = func(n *Plan) {
+		if n.IsLeaf() {
+			out = append(out, n.Table)
+			return
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(p)
+	return out
+}

@@ -1,0 +1,286 @@
+package sqlmini
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/similarity"
+)
+
+func usersOrders() (*Table, *Table) {
+	users := NewTable("users", "id", "age")
+	for i := uint64(0); i < 100; i++ {
+		users.Append(i, 20+i%50)
+	}
+	orders := NewTable("orders", "oid", "uid", "amount")
+	for i := uint64(0); i < 300; i++ {
+		orders.Append(i, i%100, i*10)
+	}
+	return users, orders
+}
+
+func TestTableBasics(t *testing.T) {
+	u := NewTable("u", "a", "b")
+	u.Append(1, 2)
+	if u.Len() != 1 || u.Col("b") != 1 || !u.HasCol("a") || u.HasCol("z") {
+		t.Fatal("table basics")
+	}
+}
+
+func TestTablePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"no-cols":   func() { NewTable("x") },
+		"dup-cols":  func() { NewTable("x", "a", "a") },
+		"width":     func() { NewTable("x", "a").Append(1, 2) },
+		"badcolumn": func() { NewTable("x", "a").Col("b") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	cases := []struct {
+		p    Predicate
+		v    uint64
+		want bool
+	}{
+		{Predicate{Op: Eq, Value: 5}, 5, true},
+		{Predicate{Op: Eq, Value: 5}, 6, false},
+		{Predicate{Op: Lt, Value: 5}, 4, true},
+		{Predicate{Op: Lt, Value: 5}, 5, false},
+		{Predicate{Op: Ge, Value: 5}, 5, true},
+		{Predicate{Op: Ge, Value: 5}, 4, false},
+		{Predicate{Op: Between, Value: 3, Hi: 7}, 3, true},
+		{Predicate{Op: Between, Value: 3, Hi: 7}, 7, true},
+		{Predicate{Op: Between, Value: 3, Hi: 7}, 8, false},
+	}
+	for _, c := range cases {
+		if c.p.Matches(c.v) != c.want {
+			t.Fatalf("%v.Matches(%d) != %v", c.p, c.v, c.want)
+		}
+	}
+}
+
+func TestTrueCardinality(t *testing.T) {
+	users, _ := usersOrders()
+	n := TrueCardinality(users, []Predicate{{Column: "age", Op: Lt, Value: 30}})
+	// ages are 20 + i%50 for i in 0..99: ages 20..29 occur for i%50 in
+	// 0..9, i.e. 20 rows.
+	if n != 20 {
+		t.Fatalf("cardinality = %d", n)
+	}
+	if TrueCardinality(users, nil) != 100 {
+		t.Fatal("no-predicate cardinality")
+	}
+}
+
+func TestScanExecution(t *testing.T) {
+	users, _ := usersOrders()
+	rows, st, err := Execute(NewScan(users, Predicate{Column: "age", Op: Ge, Value: 60}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := TrueCardinality(users, []Predicate{{Column: "age", Op: Ge, Value: 60}})
+	if len(rows) != want {
+		t.Fatalf("scan returned %d rows, want %d", len(rows), want)
+	}
+	if st.RowsTouched != users.Len() {
+		t.Fatalf("scan touched %d rows", st.RowsTouched)
+	}
+	if st.RowsOut != len(rows) {
+		t.Fatal("RowsOut mismatch")
+	}
+}
+
+func TestScanUnknownColumnErrors(t *testing.T) {
+	users, _ := usersOrders()
+	if _, _, err := Execute(NewScan(users, Predicate{Column: "nope", Op: Eq})); err == nil {
+		t.Fatal("no error for unknown predicate column")
+	}
+}
+
+func TestHashJoinMatchesNLJoin(t *testing.T) {
+	users, orders := usersOrders()
+	hj := NewJoin(HashJoin, NewScan(users), NewScan(orders), "users.id", "orders.uid")
+	nl := NewJoin(NestedLoopJoin, NewScan(users), NewScan(orders), "users.id", "orders.uid")
+	hrows, hst, err := Execute(hj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nrows, nst, err := Execute(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hrows) != len(nrows) || len(hrows) != 300 {
+		t.Fatalf("join sizes: hash=%d nl=%d want 300", len(hrows), len(nrows))
+	}
+	if hst.RowsTouched >= nst.RowsTouched {
+		t.Fatalf("hash join (%d) should touch fewer rows than NL (%d)",
+			hst.RowsTouched, nst.RowsTouched)
+	}
+	// Row sets must be equal (order may differ).
+	key := func(r []uint64) string {
+		var sb strings.Builder
+		for _, v := range r {
+			sb.WriteString(string(rune(v % 1000)))
+			sb.WriteByte('|')
+		}
+		return sb.String()
+	}
+	hset := map[string]int{}
+	for _, r := range hrows {
+		hset[key(r)]++
+	}
+	for _, r := range nrows {
+		hset[key(r)]--
+	}
+	for _, c := range hset {
+		if c != 0 {
+			t.Fatal("join result sets differ")
+		}
+	}
+}
+
+func TestJoinOutputWidth(t *testing.T) {
+	users, orders := usersOrders()
+	p := NewJoin(HashJoin, NewScan(users), NewScan(orders), "id", "uid")
+	rows, _, err := Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows[0]) != 5 { // 2 user cols + 3 order cols
+		t.Fatalf("joined row width = %d", len(rows[0]))
+	}
+	cols := p.OutputColumns()
+	if len(cols) != 5 || cols[0] != "users.id" || cols[4] != "orders.amount" {
+		t.Fatalf("output columns = %v", cols)
+	}
+}
+
+func TestBareColumnResolution(t *testing.T) {
+	users, orders := usersOrders()
+	// Bare names resolve via suffix match.
+	p := NewJoin(HashJoin, NewScan(users), NewScan(orders), "id", "uid")
+	if _, _, err := Execute(p); err != nil {
+		t.Fatal(err)
+	}
+	bad := NewJoin(HashJoin, NewScan(users), NewScan(orders), "id", "missing")
+	if _, _, err := Execute(bad); err == nil {
+		t.Fatal("no error for unresolvable join column")
+	}
+}
+
+func TestThreeWayJoin(t *testing.T) {
+	users, orders := usersOrders()
+	items := NewTable("items", "oid2", "sku")
+	for i := uint64(0); i < 300; i++ {
+		items.Append(i, i%7)
+	}
+	p := NewJoin(HashJoin,
+		NewJoin(HashJoin, NewScan(users), NewScan(orders), "users.id", "orders.uid"),
+		NewScan(items),
+		"orders.oid", "items.oid2")
+	rows, _, err := Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 300 {
+		t.Fatalf("three-way join = %d rows", len(rows))
+	}
+	if len(rows[0]) != 7 {
+		t.Fatalf("row width = %d", len(rows[0]))
+	}
+}
+
+func TestFilteredJoinCardinality(t *testing.T) {
+	users, orders := usersOrders()
+	p := NewJoin(HashJoin,
+		NewScan(users, Predicate{Column: "id", Op: Lt, Value: 10}),
+		NewScan(orders),
+		"users.id", "orders.uid")
+	rows, _, err := Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each of user ids 0..9 matches 3 orders.
+	if len(rows) != 30 {
+		t.Fatalf("filtered join = %d rows", len(rows))
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	users, orders := usersOrders()
+	p := NewJoin(HashJoin,
+		NewScan(users, Predicate{Column: "age", Op: Ge, Value: 30}),
+		NewScan(orders), "id", "uid")
+	s := p.String()
+	if !strings.Contains(s, "hashjoin") || !strings.Contains(s, "scan(users[age >= 30])") {
+		t.Fatalf("plan string = %q", s)
+	}
+}
+
+func TestPlanTreeTemplateStability(t *testing.T) {
+	users, orders := usersOrders()
+	// Two instances of the same template with different literals must
+	// produce identical trees (the paper's workload similarity works on
+	// query shapes).
+	p1 := NewJoin(HashJoin, NewScan(users, Predicate{Column: "age", Op: Ge, Value: 30}), NewScan(orders), "id", "uid")
+	p2 := NewJoin(HashJoin, NewScan(users, Predicate{Column: "age", Op: Ge, Value: 55}), NewScan(orders), "id", "uid")
+	if p1.Tree().Canon() != p2.Tree().Canon() {
+		t.Fatal("literal values leaked into plan tree")
+	}
+	// Different shape differs.
+	p3 := NewJoin(NestedLoopJoin, NewScan(users), NewScan(orders), "id", "uid")
+	if p1.Tree().Canon() == p3.Tree().Canon() {
+		t.Fatal("different plans share a tree")
+	}
+	if similarity.WorkloadJaccard(
+		[]*similarity.Tree{p1.Tree()},
+		[]*similarity.Tree{p2.Tree()}) != 1 {
+		t.Fatal("same-template workloads must have similarity 1")
+	}
+}
+
+func TestTables(t *testing.T) {
+	users, orders := usersOrders()
+	p := NewJoin(HashJoin, NewScan(users), NewScan(orders), "id", "uid")
+	ts := p.Tables()
+	if len(ts) != 2 || ts[0].Name != "users" || ts[1].Name != "orders" {
+		t.Fatalf("tables = %v", ts)
+	}
+}
+
+func TestCost(t *testing.T) {
+	users, orders := usersOrders()
+	c, err := Cost(NewJoin(HashJoin, NewScan(users), NewScan(orders), "id", "uid"))
+	if err != nil || c <= 0 {
+		t.Fatalf("cost = %d, %v", c, err)
+	}
+}
+
+func TestColumnValuesAndDistinct(t *testing.T) {
+	users, _ := usersOrders()
+	vals := users.ColumnValues("age")
+	if len(vals) != 100 {
+		t.Fatal("column length")
+	}
+	for i := 1; i < len(vals); i++ {
+		if vals[i] < vals[i-1] {
+			t.Fatal("unsorted column values")
+		}
+	}
+	if users.DistinctCount("age") != 50 {
+		t.Fatalf("distinct ages = %d", users.DistinctCount("age"))
+	}
+	empty := NewTable("e", "x")
+	if empty.DistinctCount("x") != 0 {
+		t.Fatal("empty distinct")
+	}
+}

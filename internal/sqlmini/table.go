@@ -1,0 +1,175 @@
+// Package sqlmini implements a miniature in-memory relational engine —
+// tables of uint64 columns, filtered scans, hash and nested-loop joins,
+// and explicit plan trees — as the substrate for the benchmark's learned
+// query-optimization experiments. The engine counts the rows every
+// operator touches, so plan quality is measurable deterministically and
+// identically under the real and virtual clocks.
+package sqlmini
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Table is a named collection of rows over named uint64 columns.
+type Table struct {
+	Name    string
+	Columns []string
+	colIdx  map[string]int
+	Rows    [][]uint64
+}
+
+// NewTable creates an empty table with the given columns.
+func NewTable(name string, columns ...string) *Table {
+	if len(columns) == 0 {
+		panic("sqlmini: table needs at least one column")
+	}
+	idx := make(map[string]int, len(columns))
+	for i, c := range columns {
+		if _, dup := idx[c]; dup {
+			panic(fmt.Sprintf("sqlmini: duplicate column %q", c))
+		}
+		idx[c] = i
+	}
+	return &Table{Name: name, Columns: columns, colIdx: idx}
+}
+
+// Col returns the position of a column, panicking on unknown names (a
+// query construction bug, not a runtime condition).
+func (t *Table) Col(name string) int {
+	i, ok := t.colIdx[name]
+	if !ok {
+		panic(fmt.Sprintf("sqlmini: table %s has no column %q", t.Name, name))
+	}
+	return i
+}
+
+// HasCol reports whether the table has the column.
+func (t *Table) HasCol(name string) bool {
+	_, ok := t.colIdx[name]
+	return ok
+}
+
+// Append adds a row; the row length must match the column count.
+func (t *Table) Append(row ...uint64) {
+	if len(row) != len(t.Columns) {
+		panic("sqlmini: row width mismatch")
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Len returns the row count.
+func (t *Table) Len() int { return len(t.Rows) }
+
+// ReplaceRows swaps the table contents (used by drift scenarios that
+// evolve the database during a run).
+func (t *Table) ReplaceRows(rows [][]uint64) { t.Rows = rows }
+
+// Op is a predicate comparison operator.
+type Op int
+
+// Predicate operators.
+const (
+	Eq      Op = iota // column == Value
+	Lt                // column < Value
+	Ge                // column >= Value
+	Between           // Value <= column <= Hi
+)
+
+// String names the operator.
+func (o Op) String() string {
+	switch o {
+	case Eq:
+		return "="
+	case Lt:
+		return "<"
+	case Ge:
+		return ">="
+	case Between:
+		return "between"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Predicate is a single-column filter.
+type Predicate struct {
+	Column string
+	Op     Op
+	Value  uint64
+	Hi     uint64 // upper bound for Between
+}
+
+// Matches evaluates the predicate on a value.
+func (p Predicate) Matches(v uint64) bool {
+	switch p.Op {
+	case Eq:
+		return v == p.Value
+	case Lt:
+		return v < p.Value
+	case Ge:
+		return v >= p.Value
+	case Between:
+		return v >= p.Value && v <= p.Hi
+	default:
+		return false
+	}
+}
+
+// String renders the predicate for plan trees and reports.
+func (p Predicate) String() string {
+	if p.Op == Between {
+		return fmt.Sprintf("%s between %d and %d", p.Column, p.Value, p.Hi)
+	}
+	return fmt.Sprintf("%s %s %d", p.Column, p.Op, p.Value)
+}
+
+// TrueCardinality counts rows of t matching all predicates — the oracle
+// the exact estimator and the tests use.
+func TrueCardinality(t *Table, preds []Predicate) int {
+	n := 0
+	idxs := make([]int, len(preds))
+	for i, p := range preds {
+		idxs[i] = t.Col(p.Column)
+	}
+	for _, row := range t.Rows {
+		ok := true
+		for i, p := range preds {
+			if !p.Matches(row[idxs[i]]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// ColumnValues returns a sorted copy of one column's values (estimator
+// training input).
+func (t *Table) ColumnValues(col string) []uint64 {
+	i := t.Col(col)
+	out := make([]uint64, len(t.Rows))
+	for r, row := range t.Rows {
+		out[r] = row[i]
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// DistinctCount returns the number of distinct values in a column.
+func (t *Table) DistinctCount(col string) int {
+	vals := t.ColumnValues(col)
+	if len(vals) == 0 {
+		return 0
+	}
+	n := 1
+	for i := 1; i < len(vals); i++ {
+		if vals[i] != vals[i-1] {
+			n++
+		}
+	}
+	return n
+}

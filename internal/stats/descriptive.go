@@ -1,0 +1,171 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary holds the descriptive statistics that back a box plot: the
+// five-number summary plus mean, standard deviation, whiskers (Tukey 1.5 IQR
+// fences clamped to observed data), and outlier count. It is the unit of
+// reporting for the paper's Figure 1a ("report descriptive statistics, e.g.
+// using a box plot").
+type Summary struct {
+	N            int
+	Mean         float64
+	Stddev       float64
+	Min          float64
+	P25          float64
+	Median       float64
+	P75          float64
+	Max          float64
+	WhiskerLow   float64 // lowest observation >= P25 - 1.5*IQR
+	WhiskerHigh  float64 // highest observation <= P75 + 1.5*IQR
+	OutlierCount int     // observations outside the whiskers
+}
+
+// IQR returns the interquartile range.
+func (s Summary) IQR() float64 { return s.P75 - s.P25 }
+
+// Summarize computes a Summary over the sample. It sorts a copy; the input
+// slice is not modified. An empty sample yields a zero Summary.
+func Summarize(sample []float64) Summary {
+	if len(sample) == 0 {
+		return Summary{}
+	}
+	xs := append([]float64(nil), sample...)
+	sort.Float64s(xs)
+	var s Summary
+	s.N = len(xs)
+	s.Min = xs[0]
+	s.Max = xs[len(xs)-1]
+	s.P25 = quantileSorted(xs, 0.25)
+	s.Median = quantileSorted(xs, 0.5)
+	s.P75 = quantileSorted(xs, 0.75)
+
+	var mean, m2 float64
+	for i, x := range xs {
+		delta := x - mean
+		mean += delta / float64(i+1)
+		m2 += delta * (x - mean)
+	}
+	s.Mean = mean
+	if s.N > 1 {
+		s.Stddev = math.Sqrt(m2 / float64(s.N-1))
+	}
+
+	loFence := s.P25 - 1.5*s.IQR()
+	hiFence := s.P75 + 1.5*s.IQR()
+	s.WhiskerLow = s.Max
+	s.WhiskerHigh = s.Min
+	for _, x := range xs {
+		if x < loFence || x > hiFence {
+			s.OutlierCount++
+			continue
+		}
+		if x < s.WhiskerLow {
+			s.WhiskerLow = x
+		}
+		if x > s.WhiskerHigh {
+			s.WhiskerHigh = x
+		}
+	}
+	if s.OutlierCount == s.N { // degenerate: everything is an "outlier"
+		s.WhiskerLow, s.WhiskerHigh = s.Min, s.Max
+	}
+	return s
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the sample using linear
+// interpolation between closest ranks. The input is not modified.
+func Quantile(sample []float64, q float64) float64 {
+	if len(sample) == 0 {
+		return math.NaN()
+	}
+	xs := append([]float64(nil), sample...)
+	sort.Float64s(xs)
+	return quantileSorted(xs, q)
+}
+
+func quantileSorted(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return xs[0]
+	}
+	if q >= 1 {
+		return xs[len(xs)-1]
+	}
+	pos := q * float64(len(xs)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return xs[lo]
+	}
+	frac := pos - float64(lo)
+	return xs[lo]*(1-frac) + xs[hi]*frac
+}
+
+// Mean returns the arithmetic mean, or NaN for an empty sample.
+func Mean(sample []float64) float64 {
+	if len(sample) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range sample {
+		sum += x
+	}
+	return sum / float64(len(sample))
+}
+
+// Welford tracks mean and variance online in O(1) space. The driver uses it
+// to account training-overhead resource metrics without retaining samples.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds x into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// N returns the number of samples folded in.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (0 when empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Min returns the smallest sample (0 when empty).
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest sample (0 when empty).
+func (w *Welford) Max() float64 { return w.max }
+
+// Variance returns the unbiased sample variance.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (w *Welford) Stddev() float64 { return math.Sqrt(w.Variance()) }

@@ -1,0 +1,87 @@
+package stats
+
+import "math"
+
+// Linear is a fitted line y = Slope*x + Intercept. It is the model primitive
+// of the learned components: RMI stages, ALEX node models, the learned-sort
+// CDF approximation, and the learned cardinality estimator all fit lines.
+type Linear struct {
+	Slope     float64
+	Intercept float64
+}
+
+// Predict evaluates the line at x.
+func (l Linear) Predict(x float64) float64 { return l.Slope*x + l.Intercept }
+
+// FitLinear fits a least-squares line to (xs, ys). The slices must have the
+// same length. Degenerate inputs (empty, or zero x-variance) yield a
+// horizontal line through the mean of ys.
+func FitLinear(xs, ys []float64) Linear {
+	n := len(xs)
+	if n == 0 {
+		return Linear{}
+	}
+	if n != len(ys) {
+		panic("stats: FitLinear length mismatch")
+	}
+	var sumX, sumY float64
+	for i := 0; i < n; i++ {
+		sumX += xs[i]
+		sumY += ys[i]
+	}
+	meanX, meanY := sumX/float64(n), sumY/float64(n)
+	var sxx, sxy float64
+	for i := 0; i < n; i++ {
+		dx := xs[i] - meanX
+		sxx += dx * dx
+		sxy += dx * (ys[i] - meanY)
+	}
+	if sxx == 0 {
+		return Linear{Slope: 0, Intercept: meanY}
+	}
+	slope := sxy / sxx
+	return Linear{Slope: slope, Intercept: meanY - slope*meanX}
+}
+
+// FitLinearKeys fits positions 0..n-1 against sorted uint64 keys. It is the
+// common case for learned indexes, avoiding a float conversion pass by the
+// caller.
+func FitLinearKeys(keys []uint64) Linear {
+	n := len(keys)
+	if n == 0 {
+		return Linear{}
+	}
+	if n == 1 {
+		return Linear{Slope: 0, Intercept: 0}
+	}
+	var sumX, sumY float64
+	for i, k := range keys {
+		sumX += float64(k)
+		sumY += float64(i)
+	}
+	meanX, meanY := sumX/float64(n), sumY/float64(n)
+	var sxx, sxy float64
+	for i, k := range keys {
+		dx := float64(k) - meanX
+		sxx += dx * dx
+		sxy += dx * (float64(i) - meanY)
+	}
+	if sxx == 0 {
+		return Linear{Slope: 0, Intercept: meanY}
+	}
+	slope := sxy / sxx
+	return Linear{Slope: slope, Intercept: meanY - slope*meanX}
+}
+
+// PredictClamped evaluates the line and clamps the result into [0, n-1],
+// returning an integer position. n must be positive.
+func (l Linear) PredictClamped(x float64, n int) int {
+	p := l.Predict(x)
+	if math.IsNaN(p) || p < 0 {
+		return 0
+	}
+	if p > float64(n-1) {
+		return n - 1
+	}
+	return int(p)
+}

@@ -1,0 +1,123 @@
+package stats
+
+import "math"
+
+// Zipf samples integers in [0, n) with probability proportional to
+// 1/(rank+1)^theta, using the rejection-inversion method of Hörmann and
+// Derflinger, which is O(1) per sample for any theta > 0, theta != 1 handled
+// via the generalized harmonic transform.
+//
+// theta (the skew) around 0.99 matches the YCSB default; larger values
+// concentrate more mass on the most popular items.
+type Zipf struct {
+	rng              *RNG
+	n                uint64
+	theta            float64
+	oneMinusTheta    float64
+	oneMinusThetaInv float64
+	hIntegralX1      float64
+	hIntegralN       float64
+	s                float64
+}
+
+// NewZipf returns a Zipf sampler over [0, n) with skew theta > 0.
+func NewZipf(rng *RNG, theta float64, n uint64) *Zipf {
+	if n == 0 {
+		panic("stats: Zipf with n == 0")
+	}
+	if theta <= 0 {
+		panic("stats: Zipf with non-positive theta")
+	}
+	z := &Zipf{rng: rng, n: n, theta: theta}
+	z.oneMinusTheta = 1 - theta
+	if z.oneMinusTheta != 0 {
+		z.oneMinusThetaInv = 1 / z.oneMinusTheta
+	}
+	z.hIntegralX1 = z.hIntegral(1.5) - 1
+	z.hIntegralN = z.hIntegral(float64(n) + 0.5)
+	z.s = 2 - z.hIntegralInv(z.hIntegral(2.5)-z.h(2))
+	return z
+}
+
+// hIntegral is the antiderivative of h(x) = x^-theta.
+func (z *Zipf) hIntegral(x float64) float64 {
+	logX := math.Log(x)
+	return helper2(z.oneMinusTheta*logX) * logX
+}
+
+func (z *Zipf) h(x float64) float64 {
+	return math.Exp(-z.theta * math.Log(x))
+}
+
+func (z *Zipf) hIntegralInv(x float64) float64 {
+	t := x * z.oneMinusTheta
+	if t < -1 {
+		t = -1
+	}
+	return math.Exp(helper1(t) * x)
+}
+
+// helper1 computes log1p(x)/x with a series expansion near zero.
+func helper1(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Log1p(x) / x
+	}
+	return 1 - x*(0.5-x*(1.0/3.0-0.25*x))
+}
+
+// helper2 computes expm1(x)/x with a series expansion near zero.
+func helper2(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Expm1(x) / x
+	}
+	return 1 + x*0.5*(1+x*(1.0/3.0)*(1+0.25*x))
+}
+
+// Next returns the next Zipf-distributed rank in [0, n). Rank 0 is the most
+// popular item.
+func (z *Zipf) Next() uint64 {
+	for {
+		u := z.hIntegralN + z.rng.Float64()*(z.hIntegralX1-z.hIntegralN)
+		x := z.hIntegralInv(u)
+		k := uint64(x + 0.5)
+		switch {
+		case k < 1:
+			k = 1
+		case k > z.n:
+			k = z.n
+		}
+		kf := float64(k)
+		if kf-x <= z.s || u >= z.hIntegral(kf+0.5)-z.h(kf) {
+			return k - 1
+		}
+	}
+}
+
+// ScrambledZipf wraps Zipf so that the popular ranks are scattered across
+// the whole key space instead of clustering at the low end, matching the
+// YCSB "scrambled zipfian" access pattern.
+type ScrambledZipf struct {
+	z *Zipf
+	n uint64
+}
+
+// NewScrambledZipf returns a scrambled Zipf sampler over [0, n).
+func NewScrambledZipf(rng *RNG, theta float64, n uint64) *ScrambledZipf {
+	return &ScrambledZipf{z: NewZipf(rng, theta, n), n: n}
+}
+
+// Next returns the next scrambled rank in [0, n).
+func (s *ScrambledZipf) Next() uint64 {
+	r := s.z.Next()
+	return fnvHash64(r) % s.n
+}
+
+func fnvHash64(v uint64) uint64 {
+	h := uint64(0xCBF29CE484222325)
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xFF
+		h *= 0x100000001B3
+		v >>= 8
+	}
+	return h
+}

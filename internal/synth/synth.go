@@ -1,0 +1,341 @@
+// Package synth implements the workload synthesizer sketched in the
+// paper's §V-C: "an interesting avenue for a new benchmark involves
+// automatically generating synthetic datasets and workloads from
+// real-world deployments". Given a recorded key trace (which a company
+// could not share), Fit learns a compact, shareable model — per-segment
+// quantile sketches of the key distribution, the hot-key mass, and the
+// drift between segments — and Generate produces a fresh trace with the
+// same statistical shape but none of the original keys' identities
+// (hot keys are remapped through a keyed hash).
+//
+// Fidelity is measured with the same Φ estimators the benchmark uses: the
+// tests require a small KS distance between original and synthetic
+// segments and agreement of the dataset-quality scores.
+package synth
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Model is a fitted, serializable description of a key trace. It contains
+// no raw keys from the original except quantile boundaries and (hashed)
+// hot-key identities — the privacy-preserving trade the paper discusses.
+type Model struct {
+	// Segments hold per-time-slice distribution sketches, in trace order.
+	Segments []Segment
+	// TraceLen is the original trace length (generation hint).
+	TraceLen int
+}
+
+// Segment sketches one time slice of the trace.
+type Segment struct {
+	// Quantiles are the q = i/(len-1) quantile key values, i.e. a
+	// piecewise-linear CDF with len(Quantiles) knots (>= 2).
+	Quantiles []uint64
+	// HotKeys are the remapped identities of keys whose individual
+	// frequency exceeds the hot threshold, with their probabilities.
+	HotKeys   []uint64
+	HotProbs  []float64 // same length; sum <= 1
+	TotalRefs int
+}
+
+// FitOptions tunes the synthesizer.
+type FitOptions struct {
+	// NumSegments splits the trace for drift modelling (default 8).
+	NumSegments int
+	// NumQuantiles per segment (default 64).
+	NumQuantiles int
+	// HotThreshold: keys with frequency share above this become
+	// explicit hot keys (default 0.005 = 0.5%).
+	HotThreshold float64
+	// RemapSeed, when non-zero, anonymizes hot-key identities with a
+	// keyed locality-preserving hash. Anonymization costs marginal
+	// fidelity: a displaced point mass moves the empirical CDF by up to
+	// the displaced hot mass — the privacy/fidelity tension of §V-C,
+	// which TestRemapFidelityCost quantifies. Zero keeps identities.
+	RemapSeed uint64
+}
+
+func (o FitOptions) withDefaults() FitOptions {
+	if o.NumSegments <= 0 {
+		o.NumSegments = 8
+	}
+	if o.NumQuantiles < 2 {
+		o.NumQuantiles = 64
+	}
+	if o.HotThreshold <= 0 {
+		o.HotThreshold = 0.005
+	}
+	return o
+}
+
+// Fit learns a Model from a recorded key trace (keys in arrival order).
+func Fit(trace []uint64, opts FitOptions) (*Model, error) {
+	if len(trace) == 0 {
+		return nil, errors.New("synth: empty trace")
+	}
+	opts = opts.withDefaults()
+	segLen := len(trace) / opts.NumSegments
+	if segLen < opts.NumQuantiles {
+		// Too short to segment that finely; reduce segments.
+		opts.NumSegments = len(trace) / opts.NumQuantiles
+		if opts.NumSegments < 1 {
+			opts.NumSegments = 1
+		}
+		segLen = len(trace) / opts.NumSegments
+	}
+	m := &Model{TraceLen: len(trace)}
+	for s := 0; s < opts.NumSegments; s++ {
+		lo := s * segLen
+		hi := lo + segLen
+		if s == opts.NumSegments-1 {
+			hi = len(trace)
+		}
+		m.Segments = append(m.Segments, fitSegment(trace[lo:hi], opts))
+	}
+	return m, nil
+}
+
+func fitSegment(seg []uint64, opts FitOptions) Segment {
+	out := Segment{TotalRefs: len(seg)}
+	// Hot keys by frequency share.
+	counts := make(map[uint64]int, len(seg)/4)
+	for _, k := range seg {
+		counts[k]++
+	}
+	threshold := int(opts.HotThreshold * float64(len(seg)))
+	if threshold < 2 {
+		threshold = 2
+	}
+	type hot struct {
+		k uint64
+		c int
+	}
+	var hots []hot
+	for k, c := range counts {
+		if c >= threshold {
+			hots = append(hots, hot{k, c})
+		}
+	}
+	// Deterministic order: by count desc, key asc.
+	sort.Slice(hots, func(i, j int) bool {
+		if hots[i].c != hots[j].c {
+			return hots[i].c > hots[j].c
+		}
+		return hots[i].k < hots[j].k
+	})
+	hotSet := make(map[uint64]struct{}, len(hots))
+	for _, h := range hots {
+		hotSet[h.k] = struct{}{}
+		out.HotKeys = append(out.HotKeys, remap(h.k, opts.RemapSeed))
+		out.HotProbs = append(out.HotProbs, float64(h.c)/float64(len(seg)))
+	}
+	// Quantile sketch over the *tail* only — hot keys are re-sampled
+	// explicitly, so including their references here would double-count
+	// their mass in the synthetic trace.
+	xs := make([]uint64, 0, len(seg))
+	for _, k := range seg {
+		if _, hot := hotSet[k]; !hot {
+			xs = append(xs, k)
+		}
+	}
+	if len(xs) == 0 {
+		// Entirely hot segment: normalize hot probabilities to 1 so
+		// sampling never falls through to an empty sketch.
+		var hm float64
+		for _, p := range out.HotProbs {
+			hm += p
+		}
+		if hm > 0 {
+			for i := range out.HotProbs {
+				out.HotProbs[i] /= hm
+			}
+		}
+		out.Quantiles = []uint64{0, 0}
+		return out
+	}
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	q := opts.NumQuantiles
+	out.Quantiles = make([]uint64, q)
+	for i := 0; i < q; i++ {
+		pos := float64(i) / float64(q-1) * float64(len(xs)-1)
+		out.Quantiles[i] = xs[int(pos)]
+	}
+	return out
+}
+
+// remap anonymizes a hot key's identity with a keyed locality-preserving
+// hash: the low 24 bits are replaced, so the synthetic key lands within
+// 2^24 of the original but is not the original identity. A seed of zero
+// disables remapping (full fidelity, no anonymization).
+func remap(k, seed uint64) uint64 {
+	if seed == 0 {
+		return k
+	}
+	const mask = (1 << 24) - 1
+	h := k ^ seed
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	return (k &^ uint64(mask)) | (h & mask)
+}
+
+// hotMass returns the total probability of explicit hot keys.
+func (s Segment) hotMass() float64 {
+	var m float64
+	for _, p := range s.HotProbs {
+		m += p
+	}
+	return m
+}
+
+// sample draws one key from the segment model.
+func (s Segment) sample(rng *stats.RNG) uint64 {
+	if hm := s.hotMass(); hm > 0 && rng.Float64() < hm {
+		// Pick among hot keys proportionally.
+		u := rng.Float64() * hm
+		cum := 0.0
+		for i, p := range s.HotProbs {
+			cum += p
+			if u < cum {
+				return s.HotKeys[i]
+			}
+		}
+		return s.HotKeys[len(s.HotKeys)-1]
+	}
+	// Inverse-CDF sampling from the piecewise-linear quantile sketch.
+	u := rng.Float64() * float64(len(s.Quantiles)-1)
+	i := int(u)
+	if i >= len(s.Quantiles)-1 {
+		i = len(s.Quantiles) - 2
+	}
+	frac := u - float64(i)
+	lo, hi := s.Quantiles[i], s.Quantiles[i+1]
+	if hi <= lo {
+		return lo
+	}
+	return lo + uint64(frac*float64(hi-lo))
+}
+
+// Generate produces a synthetic trace of n keys that follows the model's
+// per-segment distributions (including the drift between them).
+func (m *Model) Generate(n int, seed uint64) []uint64 {
+	if n <= 0 || len(m.Segments) == 0 {
+		return nil
+	}
+	rng := stats.NewRNG(seed)
+	out := make([]uint64, n)
+	for i := range out {
+		s := i * len(m.Segments) / n
+		if s >= len(m.Segments) {
+			s = len(m.Segments) - 1
+		}
+		out[i] = m.Segments[s].sample(rng)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Serialization: the shareable artifact (binary, versioned).
+// ---------------------------------------------------------------------------
+
+const magic = uint32(0x4C534D31) // "LSM1"
+
+// Write serializes the model.
+func (m *Model) Write(w io.Writer) error {
+	if err := binary.Write(w, binary.BigEndian, magic); err != nil {
+		return fmt.Errorf("synth: write: %w", err)
+	}
+	if err := binary.Write(w, binary.BigEndian, uint64(m.TraceLen)); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.BigEndian, uint32(len(m.Segments))); err != nil {
+		return err
+	}
+	for _, s := range m.Segments {
+		if err := binary.Write(w, binary.BigEndian, uint64(s.TotalRefs)); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.BigEndian, uint32(len(s.Quantiles))); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.BigEndian, s.Quantiles); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.BigEndian, uint32(len(s.HotKeys))); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.BigEndian, s.HotKeys); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.BigEndian, s.HotProbs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Read deserializes a model written by Write.
+func Read(r io.Reader) (*Model, error) {
+	var mg uint32
+	if err := binary.Read(r, binary.BigEndian, &mg); err != nil {
+		return nil, fmt.Errorf("synth: read: %w", err)
+	}
+	if mg != magic {
+		return nil, fmt.Errorf("synth: bad magic %#x", mg)
+	}
+	var traceLen uint64
+	if err := binary.Read(r, binary.BigEndian, &traceLen); err != nil {
+		return nil, err
+	}
+	var nSeg uint32
+	if err := binary.Read(r, binary.BigEndian, &nSeg); err != nil {
+		return nil, err
+	}
+	if nSeg > 1<<20 {
+		return nil, fmt.Errorf("synth: implausible segment count %d", nSeg)
+	}
+	m := &Model{TraceLen: int(traceLen)}
+	for i := uint32(0); i < nSeg; i++ {
+		var s Segment
+		var total uint64
+		if err := binary.Read(r, binary.BigEndian, &total); err != nil {
+			return nil, err
+		}
+		s.TotalRefs = int(total)
+		var nq uint32
+		if err := binary.Read(r, binary.BigEndian, &nq); err != nil {
+			return nil, err
+		}
+		if nq < 2 || nq > 1<<20 {
+			return nil, fmt.Errorf("synth: implausible quantile count %d", nq)
+		}
+		s.Quantiles = make([]uint64, nq)
+		if err := binary.Read(r, binary.BigEndian, s.Quantiles); err != nil {
+			return nil, err
+		}
+		var nh uint32
+		if err := binary.Read(r, binary.BigEndian, &nh); err != nil {
+			return nil, err
+		}
+		if nh > 1<<20 {
+			return nil, fmt.Errorf("synth: implausible hot-key count %d", nh)
+		}
+		s.HotKeys = make([]uint64, nh)
+		if err := binary.Read(r, binary.BigEndian, s.HotKeys); err != nil {
+			return nil, err
+		}
+		s.HotProbs = make([]float64, nh)
+		if err := binary.Read(r, binary.BigEndian, s.HotProbs); err != nil {
+			return nil, err
+		}
+		m.Segments = append(m.Segments, s)
+	}
+	return m, nil
+}
