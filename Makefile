@@ -2,19 +2,28 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench figures examples clean
+.PHONY: all build vet test test-race race check cover bench figures examples clean
 
-all: build test
+all: check
 
 build:
 	$(GO) build ./...
+
+vet:
 	$(GO) vet ./...
 
 test:
 	$(GO) test ./...
 
-race:
+# The concurrency tier: the parallel orchestration layer (core.RunAll,
+# cmd/figures -parallel) and the real-time driver must stay race-clean.
+test-race:
 	$(GO) test -race ./...
+
+race: test-race
+
+# check is the full local CI gate: build, vet, tier-1 tests, race tier.
+check: build vet test test-race
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

@@ -4,22 +4,52 @@
 // plotting. This is the end-to-end reproduction entry point referenced by
 // EXPERIMENTS.md.
 //
+// Panels run concurrently under -parallel (default GOMAXPROCS): each
+// panel renders into its own buffer and buffers are flushed in
+// declaration order, so stdout and every CSV are byte-identical at any
+// parallelism level for the same seed.
+//
 // Usage:
 //
-//	figures [-scale small|full] [-seed N] [-only fig1a,...] [-csv dir]
+//	figures [-scale small|full] [-seed N] [-only fig1a,...] [-csv dir] [-parallel N]
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 
 	"repro/internal/figures"
 	"repro/internal/metrics"
+	"repro/internal/par"
 	"repro/internal/report"
 )
+
+// panel is one independently runnable artifact of the reproduction.
+type panel struct {
+	key string
+	run func(w io.Writer, scale figures.Scale, seed uint64, csvDir string) error
+}
+
+// panels lists every artifact in output order.
+func panels() []panel {
+	return []panel{
+		{"fig1a", runFig1a},
+		{"fig1aw", runFig1aWorkload},
+		{"fig1b", runFig1b},
+		{"fig1c", runFig1c},
+		{"fig1d", runFig1d},
+		{"lessons", runLessons},
+		{"optdrift", runOptDrift},
+		{"ablations", runAblations},
+		{"cache", runCache},
+		{"sched", runSched},
+	}
+}
 
 func main() {
 	var (
@@ -27,6 +57,7 @@ func main() {
 		seed      = flag.Uint64("seed", 42, "base random seed")
 		only      = flag.String("only", "", "comma-separated subset: fig1a,fig1aw,fig1b,fig1c,fig1d,lessons,optdrift,ablations,cache,sched")
 		csvDir    = flag.String("csv", "", "directory for CSV series")
+		parallelN = flag.Int("parallel", 0, "max concurrent experiment runs (0 = GOMAXPROCS, 1 = serial); output is byte-identical at any setting")
 	)
 	flag.Parse()
 
@@ -39,11 +70,12 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown scale %q", *scaleName))
 	}
+	scale.Parallel = *parallelN
 
 	want := map[string]bool{}
 	if *only == "" {
-		for _, k := range []string{"fig1a", "fig1aw", "fig1b", "fig1c", "fig1d", "lessons", "optdrift", "ablations", "cache", "sched"} {
-			want[k] = true
+		for _, p := range panels() {
+			want[p.key] = true
 		}
 	} else {
 		for _, k := range strings.Split(*only, ",") {
@@ -56,40 +88,29 @@ func main() {
 		}
 	}
 
-	if want["fig1a"] {
-		runFig1a(scale, *seed, *csvDir)
+	var selected []panel
+	for _, p := range panels() {
+		if want[p.key] {
+			selected = append(selected, p)
+		}
 	}
-	if want["fig1aw"] {
-		runFig1aWorkload(scale, *seed, *csvDir)
+
+	// Fan the panels out; each renders into its own buffer so stdout
+	// stays in declaration order regardless of completion order.
+	bufs := make([]bytes.Buffer, len(selected))
+	err := par.ForEach(len(selected), *parallelN, func(i int) error {
+		return selected[i].run(&bufs[i], scale, *seed, *csvDir)
+	})
+	for i := range bufs {
+		os.Stdout.Write(bufs[i].Bytes())
 	}
-	if want["fig1b"] {
-		runFig1b(scale, *seed, *csvDir)
-	}
-	if want["fig1c"] {
-		runFig1c(scale, *seed, *csvDir)
-	}
-	if want["fig1d"] {
-		runFig1d(scale, *seed, *csvDir)
-	}
-	if want["lessons"] {
-		runLessons(scale, *seed)
-	}
-	if want["optdrift"] {
-		runOptDrift(scale, *seed)
-	}
-	if want["ablations"] {
-		runAblations(scale, *seed)
-	}
-	if want["cache"] {
-		runCache(scale, *seed)
-	}
-	if want["sched"] {
-		runSched(scale, *seed)
+	if err != nil {
+		fatal(err)
 	}
 }
 
-func runSched(scale figures.Scale, seed uint64) {
-	section("Extension — learned scheduling on drifting job durations")
+func runSched(w io.Writer, scale figures.Scale, seed uint64, _ string) error {
+	section(w, "Extension — learned scheduling on drifting job durations")
 	res := figures.SchedExperiment(scale, seed)
 	header := []string{"policy", "mean sojourn", "p99 sojourn", "train work"}
 	var rows [][]string
@@ -101,49 +122,51 @@ func runSched(scale figures.Scale, seed uint64) {
 			fmt.Sprintf("%d", res.TrainWork[p]),
 		})
 	}
-	report.Table(os.Stdout, header, rows)
-	fmt.Println()
+	report.Table(w, header, rows)
+	fmt.Fprintln(w)
+	return nil
 }
 
-func runAblations(scale figures.Scale, seed uint64) {
-	section("Design-choice ablations (DESIGN.md §5)")
+func runAblations(w io.Writer, scale figures.Scale, seed uint64, _ string) error {
+	section(w, "Design-choice ablations (DESIGN.md §5)")
 
 	sla, err := figures.AblationSLA(scale, seed)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("1. SLA threshold source — violation rate: calibrated %.1f%%, 100x-loose %.1f%%, 20x-tight %.1f%%\n",
+	fmt.Fprintf(w, "1. SLA threshold source — violation rate: calibrated %.1f%%, 100x-loose %.1f%%, 20x-tight %.1f%%\n",
 		sla.CalibratedViolationRate*100, sla.LooseViolationRate*100, sla.TightViolationRate*100)
 
 	phi := figures.AblationPhi(seed)
-	fmt.Printf("2. Φ estimator choice — KS/MMD pairwise ordering agreement: %.0f%%\n",
+	fmt.Fprintf(w, "2. Φ estimator choice — KS/MMD pairwise ordering agreement: %.0f%%\n",
 		phi.OrderAgreement*100)
 
 	tr, err := figures.AblationTransition(scale, seed)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("3. Transition type — throughput dip: abrupt %.0f%% vs gradual %.0f%%; over-SLA %.3fms vs %.3fms\n",
+	fmt.Fprintf(w, "3. Transition type — throughput dip: abrupt %.0f%% vs gradual %.0f%%; over-SLA %.3fms vs %.3fms\n",
 		tr.AbruptDip*100, tr.GradualDip*100,
 		float64(tr.AbruptOverSLA)/1e6, float64(tr.GradualOverSLA)/1e6)
 
 	tp, err := figures.AblationTrainingPlacement(scale, seed)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("4. Training placement — post-shift over-SLA: online %.3fms vs scheduled window %.3fms (window work %d)\n",
+	fmt.Fprintf(w, "4. Training placement — post-shift over-SLA: online %.3fms vs scheduled window %.3fms (window work %d)\n",
 		float64(tp.OnlineOverSLA)/1e6, float64(tp.ScheduledOverSLA)/1e6, tp.ScheduledRetrainWork)
 
 	ho, err := figures.AblationHoldout(scale, seed)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("5. Hold-out gap — in/out-of-sample throughput ratio: learned %.2fx vs traditional %.2fx\n\n",
+	fmt.Fprintf(w, "5. Hold-out gap — in/out-of-sample throughput ratio: learned %.2fx vs traditional %.2fx\n\n",
 		ho.LearnedGap, ho.TraditionalGap)
+	return nil
 }
 
-func runCache(scale figures.Scale, seed uint64) {
-	section("Extension — learning-based cache eviction")
+func runCache(w io.Writer, scale figures.Scale, seed uint64, _ string) error {
+	section(w, "Extension — learning-based cache eviction")
 	res := figures.CacheExperiment(scale, seed)
 	header := []string{"trace", "lru", "lfu", "learned", "belady (optimal)"}
 	var rows [][]string
@@ -157,146 +180,163 @@ func runCache(scale figures.Scale, seed uint64) {
 			fmt.Sprintf("%.1f%%", res.Belady[tr]*100),
 		})
 	}
-	report.Table(os.Stdout, header, rows)
-	fmt.Println()
+	report.Table(w, header, rows)
+	fmt.Fprintln(w)
+	return nil
 }
 
-func runFig1a(scale figures.Scale, seed uint64, csvDir string) {
-	section("Figure 1a — throughput per workload/data distribution")
+func runFig1a(w io.Writer, scale figures.Scale, seed uint64, csvDir string) error {
+	section(w, "Figure 1a — throughput per workload/data distribution")
 	res, err := figures.Fig1a(scale, seed)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	for _, sut := range report.SortedKeys(res.Rows) {
-		report.BoxPlot(os.Stdout,
+		report.BoxPlot(w,
 			fmt.Sprintf("%s: per-interval throughput by distribution (phi = KS distance from uniform)", sut),
 			res.Rows[sut], 64)
-		fmt.Println()
+		fmt.Fprintln(w)
 		if csvDir != "" {
-			writeCSV(filepath.Join(csvDir, "fig1a-"+sut+".csv"), func(f *os.File) {
+			if err := writeCSV(filepath.Join(csvDir, "fig1a-"+sut+".csv"), func(f *os.File) {
 				report.BoxCSV(f, res.Rows[sut])
-			})
+			}); err != nil {
+				return err
+			}
 		}
 	}
+	return nil
 }
 
-func runFig1aWorkload(scale figures.Scale, seed uint64, csvDir string) {
-	section("Figure 1a (workload variant) — throughput per workload, Φ = plan-subtree Jaccard")
+func runFig1aWorkload(w io.Writer, scale figures.Scale, seed uint64, csvDir string) error {
+	section(w, "Figure 1a (workload variant) — throughput per workload, Φ = plan-subtree Jaccard")
 	res, err := figures.Fig1aWorkload(scale, seed)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	for _, sut := range report.SortedKeys(res.Rows) {
-		report.BoxPlot(os.Stdout,
+		report.BoxPlot(w,
 			fmt.Sprintf("%s: per-interval query throughput by workload family", sut),
 			res.Rows[sut], 64)
-		fmt.Println()
+		fmt.Fprintln(w)
 		if csvDir != "" {
-			writeCSV(filepath.Join(csvDir, "fig1a-workload-"+sut+".csv"), func(f *os.File) {
+			if err := writeCSV(filepath.Join(csvDir, "fig1a-workload-"+sut+".csv"), func(f *os.File) {
 				report.BoxCSV(f, res.Rows[sut])
-			})
+			}); err != nil {
+				return err
+			}
 		}
 	}
+	return nil
 }
 
-func runFig1b(scale figures.Scale, seed uint64, csvDir string) {
-	section("Figure 1b — cumulative queries over time")
+func runFig1b(w io.Writer, scale figures.Scale, seed uint64, csvDir string) error {
+	section(w, "Figure 1b — cumulative queries over time")
 	res, err := figures.Fig1b(scale, seed)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	report.CumulativePlot(os.Stdout, "build-then-serve: learned (rmi) vs traditional (btree)",
+	report.CumulativePlot(w, "build-then-serve: learned (rmi) vs traditional (btree)",
 		res.Labels, res.Curves, 100, 18)
-	fmt.Println()
+	fmt.Fprintln(w)
 	if csvDir != "" {
-		writeCSV(filepath.Join(csvDir, "fig1b.csv"), func(f *os.File) {
+		if err := writeCSV(filepath.Join(csvDir, "fig1b.csv"), func(f *os.File) {
 			report.CumulativeCSV(f, res.Labels, res.Curves, 500)
-		})
+		}); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
-func runFig1c(scale figures.Scale, seed uint64, csvDir string) {
-	section("Figure 1c — SLA violations around a distribution change")
+func runFig1c(w io.Writer, scale figures.Scale, seed uint64, csvDir string) error {
+	section(w, "Figure 1c — SLA violations around a distribution change")
 	res, err := figures.Fig1c(scale, seed)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	for _, sut := range report.SortedKeys(res.Bands) {
-		report.BandChart(os.Stdout, "SLA bands — "+sut, res.Bands[sut], 10)
-		fmt.Printf("adjustment speed (over-SLA time after change): %.3fms; violation rate %.2f%%\n\n",
+		report.BandChart(w, "SLA bands — "+sut, res.Bands[sut], 10)
+		fmt.Fprintf(w, "adjustment speed (over-SLA time after change): %.3fms; violation rate %.2f%%\n\n",
 			float64(res.AdjustmentSpeed[sut])/1e6, res.ViolationRate[sut]*100)
 		if csvDir != "" {
 			sut := sut
-			writeCSV(filepath.Join(csvDir, "fig1c-"+sut+".csv"), func(f *os.File) {
+			if err := writeCSV(filepath.Join(csvDir, "fig1c-"+sut+".csv"), func(f *os.File) {
 				report.BandCSV(f, res.Bands[sut])
-			})
+			}); err != nil {
+				return err
+			}
 		}
 	}
+	return nil
 }
 
-func runFig1d(scale figures.Scale, seed uint64, csvDir string) {
-	section("Figure 1d — throughput per cost (training vs manual tuning)")
+func runFig1d(w io.Writer, scale figures.Scale, seed uint64, csvDir string) error {
+	section(w, "Figure 1d — throughput per cost (training vs manual tuning)")
 	res, err := figures.Fig1d(scale, seed)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	report.CostPlot(os.Stdout, "auto-tuned kv store (CPU tier) vs manual DBA",
+	report.CostPlot(w, "auto-tuned kv store (CPU tier) vs manual DBA",
 		res.LearnedCPU, res.Traditional, 80, 16)
-	fmt.Println()
-	report.CostPlot(os.Stdout, "auto-tuned kv store (GPU tier) vs manual DBA",
+	fmt.Fprintln(w)
+	report.CostPlot(w, "auto-tuned kv store (GPU tier) vs manual DBA",
 		res.LearnedGPU, res.Traditional, 80, 16)
-	fmt.Println()
+	fmt.Fprintln(w)
 	if csvDir != "" {
-		writeCSV(filepath.Join(csvDir, "fig1d.csv"), func(f *os.File) {
+		if err := writeCSV(filepath.Join(csvDir, "fig1d.csv"), func(f *os.File) {
 			report.CostCSV(f, res.LearnedCPU, res.Traditional)
-		})
+		}); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
-func runLessons(scale figures.Scale, seed uint64) {
-	section("Lesson ablations")
+func runLessons(w io.Writer, scale figures.Scale, seed uint64, _ string) error {
+	section(w, "Lesson ablations")
 	l1, err := figures.Lesson1(scale, seed)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("Lesson 1 (fixed workloads are easy to learn):\n")
-	fmt.Printf("  learned/traditional throughput ratio: fixed %.2fx -> drifting %.2fx\n\n",
+	fmt.Fprintf(w, "Lesson 1 (fixed workloads are easy to learn):\n")
+	fmt.Fprintf(w, "  learned/traditional throughput ratio: fixed %.2fx -> drifting %.2fx\n\n",
 		l1.FixedRatio, l1.DriftRatio)
 
 	l2, err := figures.Lesson2(scale, seed)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("Lesson 2 (averages hide adaptability):\n")
-	fmt.Printf("  %s: mean %.0f ops/s, p99 latency %dns\n", l2.NameA, l2.MeanA, l2.P99LatencyA)
-	fmt.Printf("  %s: mean %.0f ops/s, p99 latency %dns\n", l2.NameB, l2.MeanB, l2.P99LatencyB)
-	fmt.Printf("  means differ %.1f%%; p99 latencies differ %.1fx\n\n",
+	fmt.Fprintf(w, "Lesson 2 (averages hide adaptability):\n")
+	fmt.Fprintf(w, "  %s: mean %.0f ops/s, p99 latency %dns\n", l2.NameA, l2.MeanA, l2.P99LatencyA)
+	fmt.Fprintf(w, "  %s: mean %.0f ops/s, p99 latency %dns\n", l2.NameB, l2.MeanB, l2.P99LatencyB)
+	fmt.Fprintf(w, "  means differ %.1f%%; p99 latencies differ %.1fx\n\n",
 		l2.MeanGapFraction*100, l2.TailRatio)
 
 	l3, err := figures.Lesson3(scale, seed)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("Lesson 3 (training is a first-class result):\n")
-	fmt.Printf("  training %.3fms; learned %.0fns/op vs traditional %.0fns/op\n",
+	fmt.Fprintf(w, "Lesson 3 (training is a first-class result):\n")
+	fmt.Fprintf(w, "  training %.3fms; learned %.0fns/op vs traditional %.0fns/op\n",
 		float64(l3.TrainNs)/1e6, l3.LearnedOpNs, l3.TraditionalOpNs)
-	fmt.Printf("  break-even after %.0f queries\n\n", l3.BreakEvenQueries)
+	fmt.Fprintf(w, "  break-even after %.0f queries\n\n", l3.BreakEvenQueries)
 
 	fig, err := figures.Fig1d(scale, seed)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	l4 := figures.Lesson4(fig)
-	fmt.Printf("Lesson 4 (human cost matters):\n")
-	fmt.Printf("  machine-only TCO: learned $%.0f vs DBA $%.0f\n", l4.MachineOnlyLearned, l4.MachineOnlyDBA)
-	fmt.Printf("  with $120/h DBA:  learned $%.0f vs DBA $%.0f\n\n", l4.FullLearned, l4.FullDBA)
+	fmt.Fprintf(w, "Lesson 4 (human cost matters):\n")
+	fmt.Fprintf(w, "  machine-only TCO: learned $%.0f vs DBA $%.0f\n", l4.MachineOnlyLearned, l4.MachineOnlyDBA)
+	fmt.Fprintf(w, "  with $120/h DBA:  learned $%.0f vs DBA $%.0f\n\n", l4.FullLearned, l4.FullDBA)
+	return nil
 }
 
-func runOptDrift(scale figures.Scale, seed uint64) {
-	section("Extension — learned query optimizer under data drift")
+func runOptDrift(w io.Writer, scale figures.Scale, seed uint64, _ string) error {
+	section(w, "Extension — learned query optimizer under data drift")
 	res, err := figures.OptDrift(scale, seed)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	labels := make([]string, 0, len(res.Results))
 	curves := make([]*metrics.CumCurve, 0, len(res.Results))
@@ -304,27 +344,29 @@ func runOptDrift(scale figures.Scale, seed uint64) {
 		r := res.Results[name]
 		labels = append(labels, name)
 		curves = append(curves, r.Cumulative)
-		fmt.Printf("%-18s %.0f q/s, train work %d, over-SLA after drift %.3fms\n",
+		fmt.Fprintf(w, "%-18s %.0f q/s, train work %d, over-SLA after drift %.3fms\n",
 			name, r.Throughput(), r.TrainWork, float64(res.AdjustmentSpeed[name])/1e6)
 	}
-	fmt.Println()
-	report.CumulativePlot(os.Stdout, "cumulative queries (drift at midpoint)", labels, curves, 100, 14)
-	fmt.Println()
+	fmt.Fprintln(w)
+	report.CumulativePlot(w, "cumulative queries (drift at midpoint)", labels, curves, 100, 14)
+	fmt.Fprintln(w)
+	return nil
 }
 
-func section(title string) {
-	fmt.Println(strings.Repeat("=", len(title)))
-	fmt.Println(title)
-	fmt.Println(strings.Repeat("=", len(title)))
+func section(w io.Writer, title string) {
+	fmt.Fprintln(w, strings.Repeat("=", len(title)))
+	fmt.Fprintln(w, title)
+	fmt.Fprintln(w, strings.Repeat("=", len(title)))
 }
 
-func writeCSV(path string, emit func(*os.File)) {
+func writeCSV(path string, emit func(*os.File)) error {
 	f, err := os.Create(path)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	defer f.Close()
 	emit(f)
+	return nil
 }
 
 func fatal(err error) {

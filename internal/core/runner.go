@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/distgen"
 	"repro/internal/metrics"
+	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -58,13 +59,29 @@ type Result struct {
 	// Lesson 3: training accounting.
 	OfflineTrainWork int64
 	OnlineTrainWork  int64
-	Models           int
+	// Models is the model count reported by the most recent training step;
+	// MaxModels is the largest count any training step reported. Retrains
+	// counts the scheduled RetrainBefore windows that actually trained, so
+	// multi-phase scenarios keep their full training history.
+	Models    int
+	MaxModels int
+	Retrains  int
 
 	// SLA threshold used (ns).
 	SLANs int64
 	// Total virtual duration (ns) and completed ops.
 	DurationNs int64
 	Completed  int64
+}
+
+// recordModels folds one training report's model count into the result:
+// Models tracks the latest count, MaxModels the peak across all training
+// steps of the run.
+func (r *Result) recordModels(models int) {
+	r.Models = models
+	if models > r.MaxModels {
+		r.MaxModels = models
+	}
 }
 
 // Throughput returns the run's overall average throughput (ops/sec).
@@ -81,6 +98,11 @@ type Runner struct {
 	// PostChangeN is how many operations after each phase change feed
 	// the adjustment-speed metric (default 1000).
 	PostChangeN int
+	// Parallel bounds how many SUT runs RunAll executes concurrently.
+	// 0 means runtime.GOMAXPROCS(0); 1 runs serially. Results are
+	// returned in factory order and, because RunAll materializes every
+	// stateful input first, are bit-identical at any setting.
+	Parallel int
 }
 
 // NewRunner returns a runner with the default cost model.
@@ -120,7 +142,7 @@ func (r *Runner) Run(s Scenario, sut SUT) (*Result, error) {
 		if tr, ok := sut.(Trainable); ok {
 			rep := tr.Train()
 			res.OfflineTrainWork += rep.WorkUnits
-			res.Models = rep.Models
+			res.recordModels(rep.Models)
 			clock.Advance(r.Cost.TrainTime(rep.WorkUnits))
 		}
 	}
@@ -147,10 +169,16 @@ func (r *Runner) Run(s Scenario, sut SUT) (*Result, error) {
 		if phase.RetrainBefore {
 			if tr, ok := sut.(Trainable); ok {
 				rep := tr.Train()
-				pres.RetrainWork = rep.WorkUnits
-				res.OfflineTrainWork += rep.WorkUnits
-				res.Models = rep.Models
-				clock.Advance(r.Cost.TrainTime(rep.WorkUnits))
+				// Adapters report an empty TrainReport for SUTs with
+				// nothing to train; only real training counts as a
+				// retrain window.
+				if rep.WorkUnits > 0 || rep.Models > 0 {
+					pres.RetrainWork = rep.WorkUnits
+					res.OfflineTrainWork += rep.WorkUnits
+					res.Retrains++
+					res.recordModels(rep.Models)
+					clock.Advance(r.Cost.TrainTime(rep.WorkUnits))
+				}
 			}
 		}
 
@@ -283,18 +311,25 @@ func calibrateComps(comps []comp) int64 {
 }
 
 // RunAll executes the scenario against multiple SUT factories, returning
-// results in order. A factory builds a fresh SUT so runs are independent;
-// the initial database is materialized once so every SUT is loaded with
-// identical data (fair head-to-head comparison).
+// results in factory order. A factory builds a fresh SUT so runs are
+// independent; the initial database and every phase's operation/arrival
+// stream are materialized once so every SUT replays identical inputs
+// (fair head-to-head comparison). Because each run is then a pure
+// function of the pinned scenario and its own SUT, RunAll fans the runs
+// out across Runner.Parallel workers without changing any result bit.
 func (r *Runner) RunAll(s Scenario, factories []func() SUT) ([]*Result, error) {
 	s = s.Materialize()
-	out := make([]*Result, 0, len(factories))
-	for _, f := range factories {
-		res, err := r.Run(s, f())
+	out := make([]*Result, len(factories))
+	err := par.ForEach(len(factories), r.Parallel, func(i int) error {
+		res, err := r.Run(s, factories[i]())
 		if err != nil {
-			return nil, fmt.Errorf("core: running %s: %w", s.Name, err)
+			return fmt.Errorf("core: running %s: %w", s.Name, err)
 		}
-		out = append(out, res)
+		out[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

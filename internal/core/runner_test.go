@@ -146,6 +146,57 @@ func TestRunnerRetrainBefore(t *testing.T) {
 	}
 }
 
+func TestRunnerRetrainAccounting(t *testing.T) {
+	// Three retraining windows across a multi-phase scenario: every one
+	// must be counted, and model counts must not be lost by overwriting.
+	s := shiftScenario()
+	s.Phases[1].RetrainBefore = true
+	s.Phases = append(s.Phases, Phase{
+		Name:          "third",
+		Ops:           2000,
+		RetrainBefore: true,
+		Workload: workload.Spec{
+			Mix:    workload.ReadHeavy,
+			Access: distgen.Static{G: distgen.NewUniform(5, 0, 1<<40)},
+		},
+	}, Phase{
+		Name:          "fourth",
+		Ops:           2000,
+		RetrainBefore: true,
+		Workload: workload.Spec{
+			Mix:    workload.ReadHeavy,
+			Access: distgen.Static{G: distgen.NewUniform(6, 0, 1<<40)},
+		},
+	})
+	res, err := NewRunner().Run(s, NewRMISUT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retrains != 3 {
+		t.Fatalf("retrains = %d, want 3", res.Retrains)
+	}
+	if res.Models <= 0 || res.MaxModels < res.Models {
+		t.Fatalf("model accounting: last %d, max %d", res.Models, res.MaxModels)
+	}
+	var windows int
+	for _, p := range res.Phases {
+		if p.RetrainWork > 0 {
+			windows++
+		}
+	}
+	if windows != 3 {
+		t.Fatalf("retrain work recorded in %d phases, want 3", windows)
+	}
+	// An untrained SUT must report zero retrains even with windows set.
+	bres, err := NewRunner().Run(s, NewHashSUT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bres.Retrains != 0 {
+		t.Fatalf("untrainable SUT reports %d retrains", bres.Retrains)
+	}
+}
+
 func TestRunnerBandsCoverAllOps(t *testing.T) {
 	res, err := NewRunner().Run(shiftScenario(), NewBTreeSUT())
 	if err != nil {
@@ -237,6 +288,64 @@ func TestRunnerOpenLoopQueueing(t *testing.T) {
 	if res.Latency.Quantile(0.99) <= 2*closed.Latency.Quantile(0.99) {
 		t.Fatalf("saturated open loop p99 (%d) not above closed loop (%d)",
 			res.Latency.Quantile(0.99), closed.Latency.Quantile(0.99))
+	}
+}
+
+func TestRunAllParallelBitIdentical(t *testing.T) {
+	// The orchestration guarantee: RunAll fans runs out across workers
+	// without changing a single bit of any result, because every stateful
+	// input is materialized before the fan-out.
+	// Generators are stateful, so each RunAll gets a freshly built
+	// scenario; the seeds inside make the two builds identical.
+	mk := func() Scenario {
+		s := shiftScenario()
+		s.Phases[1].RetrainBefore = true
+		return s
+	}
+	serial := NewRunner()
+	serial.Parallel = 1
+	parallel := NewRunner()
+	parallel.Parallel = 8
+
+	a, err := serial.RunAll(mk(), StandardSUTs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := parallel.RunAll(mk(), StandardSUTs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("result counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		ra, rb := a[i], b[i]
+		if ra.SUT != rb.SUT {
+			t.Fatalf("order differs at %d: %s vs %s", i, ra.SUT, rb.SUT)
+		}
+		if ra.DurationNs != rb.DurationNs || ra.Completed != rb.Completed ||
+			ra.SLANs != rb.SLANs || ra.OfflineTrainWork != rb.OfflineTrainWork ||
+			ra.OnlineTrainWork != rb.OnlineTrainWork || ra.Retrains != rb.Retrains ||
+			ra.Models != rb.Models {
+			t.Fatalf("%s: headline metrics differ between serial and parallel", ra.SUT)
+		}
+		for _, q := range []float64{0.5, 0.9, 0.99, 1} {
+			if ra.Latency.Quantile(q) != rb.Latency.Quantile(q) {
+				t.Fatalf("%s: latency q%.2f differs", ra.SUT, q)
+			}
+		}
+		if ra.Bands.ViolationRate() != rb.Bands.ViolationRate() {
+			t.Fatalf("%s: violation rates differ", ra.SUT)
+		}
+		iva, ivb := ra.Bands.Intervals(), rb.Bands.Intervals()
+		if len(iva) != len(ivb) {
+			t.Fatalf("%s: band interval counts differ", ra.SUT)
+		}
+		for j := range iva {
+			if iva[j] != ivb[j] {
+				t.Fatalf("%s: band interval %d differs: %+v vs %+v", ra.SUT, j, iva[j], ivb[j])
+			}
+		}
 	}
 }
 

@@ -79,8 +79,13 @@ type lockedDrift struct {
 	d  distgen.Drift
 }
 
-// Name implements distgen.Drift.
-func (l *lockedDrift) Name() string { return l.d.Name() }
+// Name implements distgen.Drift. Stateful drift sources may compute their
+// name from mutable state, so this takes the same lock as KeysAt.
+func (l *lockedDrift) Name() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.d.Name()
+}
 
 // KeysAt implements distgen.Drift.
 func (l *lockedDrift) KeysAt(p float64, n int) []uint64 {
@@ -154,6 +159,10 @@ func Run(sut core.SUT, spec workload.Spec, initial distgen.Generator, initialSiz
 		}(w, n)
 	}
 	wg.Wait()
+	// The measured run ends when the last worker finishes; merging and
+	// histogram post-processing below are not part of the workload and
+	// must not deflate Throughput().
+	duration := time.Since(start).Nanoseconds()
 	close(results)
 
 	// Merge worker samples in completion order.
@@ -190,6 +199,6 @@ func Run(sut core.SUT, spec workload.Spec, initial distgen.Generator, initialSiz
 		res.Bands.Record(s.done, s.latency)
 	}
 	res.Completed = int64(len(all))
-	res.DurationNs = time.Since(start).Nanoseconds()
+	res.DurationNs = duration
 	return res, nil
 }

@@ -1,6 +1,8 @@
 package driver
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
@@ -54,6 +56,95 @@ func TestRunConcurrentWorkers(t *testing.T) {
 		}
 		prev = tm
 	})
+}
+
+// statefulDrift mutates internal state in both KeysAt and Name — the
+// worst-case Drift implementation lockedDrift must fully serialize.
+type statefulDrift struct {
+	draws int
+	inner distgen.Drift
+}
+
+func (s *statefulDrift) Name() string { return fmt.Sprintf("stateful(%d draws)", s.draws) }
+
+func (s *statefulDrift) KeysAt(p float64, n int) []uint64 {
+	s.draws += n
+	return s.inner.KeysAt(p, n)
+}
+
+// TestRunConcurrentStatefulDrift drives many workers through a genuinely
+// stateful drift source; run under -race it proves the lockedDrift
+// wrapping serializes every KeysAt.
+func TestRunConcurrentStatefulDrift(t *testing.T) {
+	spec := workload.Spec{
+		Mix: workload.Balanced,
+		Access: &statefulDrift{
+			inner: distgen.NewMovingHotspot(11, 0.9, 0.05, 2),
+		},
+		InsertKeys: &statefulDrift{
+			inner: distgen.NewBlend(12,
+				distgen.NewUniform(13, 0, 1<<40),
+				distgen.NewClustered(14, 5, 1e9)),
+		},
+	}
+	res, err := Run(core.NewBTreeSUT(), spec,
+		distgen.NewUniform(15, 0, 1<<40), 2000,
+		Options{Workers: 8, Ops: 4000, Seed: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 4000 {
+		t.Fatalf("completed = %d", res.Completed)
+	}
+}
+
+// TestLockedDriftNameRace hammers Name and KeysAt concurrently: Name must
+// take the same mutex as KeysAt, since Drift implementations may derive
+// their name from state KeysAt mutates. Fails under -race without the lock.
+func TestLockedDriftNameRace(t *testing.T) {
+	ld := &lockedDrift{d: &statefulDrift{inner: distgen.Static{G: distgen.NewUniform(1, 0, 1 << 30)}}}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = ld.Name()
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				ld.KeysAt(0.5, 4)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := ld.Name(); got != "stateful(3200 draws)" {
+		t.Fatalf("draw accounting lost under concurrency: %s", got)
+	}
+}
+
+func TestRunDurationExcludesPostProcessing(t *testing.T) {
+	res, err := Run(core.NewBTreeSUT(), specFor(20),
+		distgen.NewUniform(21, 0, 1<<40), 2000,
+		Options{Workers: 4, Ops: 4000, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The run duration must cover every recorded completion: the last
+	// sample's completion offset cannot exceed the measured duration, and
+	// the duration is captured at worker exit (not after merging), so the
+	// two agree tightly.
+	var lastDone int64
+	res.Cumulative.Points(func(tm, _ int64) {
+		if tm > lastDone {
+			lastDone = tm
+		}
+	})
+	if lastDone > res.DurationNs {
+		t.Fatalf("last completion at %dns after measured duration %dns", lastDone, res.DurationNs)
+	}
 }
 
 func TestRunUnevenSplit(t *testing.T) {

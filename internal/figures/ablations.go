@@ -31,7 +31,7 @@ type AblationSLAResult struct {
 // AblationSLA runs the Fig1c shift scenario for the RMI under three SLA
 // choices.
 func AblationSLA(scale Scale, seed uint64) (*AblationSLAResult, error) {
-	runner := core.NewRunner()
+	runner := newRunner(scale)
 	base := fig1bScenario(scale, seed)
 	base.Name = "ablation-sla-calibrated"
 	calibrated, err := runner.Run(base, core.NewRMISUT())
@@ -129,7 +129,7 @@ type AblationTransitionResult struct {
 // AblationTransition runs the same distribution change abruptly and as a
 // linear blend against the ALEX index.
 func AblationTransition(scale Scale, seed uint64) (*AblationTransitionResult, error) {
-	runner := core.NewRunner()
+	runner := newRunner(scale)
 	oldGen := func(s uint64) distgen.Generator {
 		return distgen.NewUniform(s, 0, distgen.KeyDomain/4)
 	}
@@ -210,7 +210,7 @@ type AblationTrainingPlacementResult struct {
 // retrain moves the cost out of the serving path: fewer SLA violations at
 // similar overall throughput.
 func AblationTrainingPlacement(scale Scale, seed uint64) (*AblationTrainingPlacementResult, error) {
-	runner := core.NewRunner()
+	runner := newRunner(scale)
 
 	online := fig1bScenario(scale, seed)
 	online.Name = "ablation-online"
@@ -266,7 +266,7 @@ type AblationHoldoutResult struct {
 // AblationHoldout trains both SUTs on sequential data and evaluates
 // in-sample (sequential) and out-of-sample (clustered hold-out).
 func AblationHoldout(scale Scale, seed uint64) (*AblationHoldoutResult, error) {
-	runner := core.NewRunner()
+	runner := newRunner(scale)
 	mk := func(name string, gen func(uint64) distgen.Generator) core.Scenario {
 		return core.Scenario{
 			Name:        name,

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/distgen"
+	"repro/internal/par"
 	"repro/internal/report"
 	"repro/internal/similarity"
 	"repro/internal/workload"
@@ -24,6 +25,11 @@ type Scale struct {
 	Ops int
 	// IntervalNs is the reporting interval.
 	IntervalNs int64
+	// Parallel bounds how many independent scenario×SUT runs execute
+	// concurrently (0 = runtime.GOMAXPROCS(0), 1 = serial). Every run
+	// replays materialized inputs with its own seeded generators, so
+	// results are bit-identical at any setting.
+	Parallel int
 }
 
 // SmallScale keeps experiments under a second for tests.
@@ -89,7 +95,7 @@ type Fig1aResult struct {
 // X-axis position given by the KS distance Φ from the uniform baseline.
 func Fig1a(scale Scale, seed uint64) (*Fig1aResult, error) {
 	cases := Fig1aCases()
-	runner := core.NewRunner()
+	runner := newRunner(scale)
 
 	// Φ: KS distance of each distribution's key sample from the baseline.
 	base := cases[0].Gen(seed + 1000).Keys(4096)
@@ -98,8 +104,12 @@ func Fig1a(scale Scale, seed uint64) (*Fig1aResult, error) {
 		phi[c.Name] = similarity.KS(base, c.Gen(seed+2000).Keys(4096))
 	}
 
-	res := &Fig1aResult{Rows: make(map[string][]report.BoxRow), Phi: phi}
-	for _, c := range cases {
+	// Each case builds its own seeded generators and scenario, so the
+	// sweep fans out; results are collected by case index and appended in
+	// declaration order, keeping the rows identical to a serial sweep.
+	perCase := make([][]*core.Result, len(cases))
+	err := par.ForEach(len(cases), scale.Parallel, func(i int) error {
+		c := cases[i]
 		scenario := core.Scenario{
 			Name:        "fig1a-" + c.Name,
 			Seed:        seed,
@@ -118,9 +128,18 @@ func Fig1a(scale Scale, seed uint64) (*Fig1aResult, error) {
 		}
 		results, err := runner.RunAll(scenario, core.StandardSUTs())
 		if err != nil {
-			return nil, fmt.Errorf("figures: fig1a %s: %w", c.Name, err)
+			return fmt.Errorf("figures: fig1a %s: %w", c.Name, err)
 		}
-		for _, r := range results {
+		perCase[i] = results
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Fig1aResult{Rows: make(map[string][]report.BoxRow), Phi: phi}
+	for i, c := range cases {
+		for _, r := range perCase[i] {
 			res.Rows[r.SUT] = append(res.Rows[r.SUT], report.BoxRow{
 				Label:   c.Name,
 				Phi:     phi[c.Name],

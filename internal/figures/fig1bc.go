@@ -114,7 +114,7 @@ func fig1bBuildServeScenario(scale Scale, seed uint64) core.Scenario {
 // Fig1b runs the cumulative-queries experiment comparing the static
 // learned index (RMI) against the traditional B+ tree.
 func Fig1b(scale Scale, seed uint64) (*Fig1bResult, error) {
-	runner := core.NewRunner()
+	runner := newRunner(scale)
 	scenario := fig1bBuildServeScenario(scale, seed)
 	results, err := runner.RunAll(scenario, []func() core.SUT{core.NewRMISUT, core.NewBTreeSUT})
 	if err != nil {
@@ -150,7 +150,7 @@ type Fig1cResult struct {
 // process over a run with an abrupt shift; latency bands expose how each
 // SUT's adaptation disrupts service.
 func Fig1c(scale Scale, seed uint64) (*Fig1cResult, error) {
-	runner := core.NewRunner()
+	runner := newRunner(scale)
 	// The adjustment-speed metric integrates over-SLA time across the
 	// whole post-change phase so slow-burn adaptation (a delta merge
 	// thousands of ops after the shift) is not missed.

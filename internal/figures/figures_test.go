@@ -2,8 +2,36 @@ package figures
 
 import (
 	"math"
+	"reflect"
 	"testing"
 )
+
+func TestFig1aParallelBitIdentical(t *testing.T) {
+	// The determinism guarantee behind -parallel: the whole distribution
+	// sweep, fanned out across cases and SUTs, produces exactly the data
+	// a serial sweep produces.
+	serialScale := SmallScale()
+	serialScale.Ops /= 4
+	serialScale.DataSize /= 4
+	serialScale.Parallel = 1
+	parScale := serialScale
+	parScale.Parallel = 8
+
+	a, err := Fig1a(serialScale, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig1a(parScale, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Phi, b.Phi) {
+		t.Fatal("phi values differ between serial and parallel sweep")
+	}
+	if !reflect.DeepEqual(a.Rows, b.Rows) {
+		t.Fatal("rows differ between serial and parallel sweep")
+	}
+}
 
 func TestFig1aShape(t *testing.T) {
 	res, err := Fig1a(SmallScale(), 1)

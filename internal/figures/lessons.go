@@ -27,7 +27,7 @@ type Lesson1Result struct {
 // Lesson1 runs the fixed-vs-varying ablation with RMI as the learned
 // system and the B+ tree as the traditional baseline.
 func Lesson1(scale Scale, seed uint64) (*Lesson1Result, error) {
-	runner := core.NewRunner()
+	runner := newRunner(scale)
 	seqGen := func(s uint64) distgen.Generator { return distgen.NewSequential(s, 1<<20, 64) }
 
 	fixed := core.Scenario{
@@ -102,7 +102,7 @@ type Lesson2Result struct {
 // compactions" — classic configurations whose averages hide opposite
 // latency behaviour.
 func Lesson2(scale Scale, seed uint64) (*Lesson2Result, error) {
-	runner := core.NewRunner()
+	runner := newRunner(scale)
 	scenario := core.Scenario{
 		Name:        "lesson2",
 		Seed:        seed,
@@ -179,7 +179,7 @@ type Lesson3Result struct {
 // Lesson3 measures the training-inclusive break-even on a learnable
 // (sequential) distribution.
 func Lesson3(scale Scale, seed uint64) (*Lesson3Result, error) {
-	runner := core.NewRunner()
+	runner := newRunner(scale)
 	gen := func(s uint64) distgen.Generator { return distgen.NewSequential(s, 1<<20, 64) }
 	scenario := core.Scenario{
 		Name:        "lesson3",

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"sort"
 	"testing"
 )
 
@@ -77,6 +78,53 @@ func TestBandTrackerOutOfOrder(t *testing.T) {
 	ivs := bt.Intervals()
 	if ivs[1].Violated != 1 {
 		t.Fatal("out-of-order record lost")
+	}
+}
+
+func TestBandTrackerOutOfOrderEquivalence(t *testing.T) {
+	// Concurrent workers deliver completions in arbitrary order; the
+	// tracker must produce the same bands as a time-sorted stream.
+	const sla, width = 1000, 1_000_000
+	type comp struct{ t, lat int64 }
+	var comps []comp
+	// Deterministic pseudo-random completion stream spanning many
+	// intervals, with latencies straddling every band boundary.
+	state := uint64(0x9E3779B97F4A7C15)
+	next := func() uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state
+	}
+	for i := 0; i < 5000; i++ {
+		comps = append(comps, comp{
+			t:   int64(next() % (50 * width)),
+			lat: int64(next() % (4 * sla)),
+		})
+	}
+
+	sorted := NewBandTracker(sla, width)
+	ordered := append([]comp(nil), comps...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].t < ordered[j].t })
+	for _, c := range ordered {
+		sorted.Record(c.t, c.lat)
+	}
+	shuffled := NewBandTracker(sla, width)
+	for _, c := range comps {
+		shuffled.Record(c.t, c.lat)
+	}
+
+	a, b := sorted.Intervals(), shuffled.Intervals()
+	if len(a) != len(b) {
+		t.Fatalf("interval counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("interval %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if sorted.ViolationRate() != shuffled.ViolationRate() {
+		t.Fatal("violation rates differ")
 	}
 }
 

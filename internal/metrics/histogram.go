@@ -188,10 +188,15 @@ func (h *Histogram) CountAbove(threshold int64) uint64 {
 }
 
 // Merge folds other into h. Both histograms must have been created by
-// NewHistogram (same bucket layout).
+// NewHistogram (same bucket layout); merging mismatched layouts would
+// silently misattribute counts, so it panics instead.
 func (h *Histogram) Merge(other *Histogram) {
 	if other == nil || other.total == 0 {
 		return
+	}
+	if len(other.counts) != len(h.counts) || other.subBuckets != h.subBuckets {
+		panic(fmt.Sprintf("metrics: Merge of mismatched histogram layouts (%d/%d buckets, %d/%d sub-buckets)",
+			len(h.counts), len(other.counts), h.subBuckets, other.subBuckets))
 	}
 	for i, c := range other.counts {
 		h.counts[i] += c

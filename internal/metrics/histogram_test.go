@@ -122,6 +122,37 @@ func TestHistogramMerge(t *testing.T) {
 	a.Merge(nil) // must not panic
 }
 
+func TestHistogramMergeMismatchedLayout(t *testing.T) {
+	// A histogram with a foreign bucket layout must be rejected loudly:
+	// folding its counts positionally would silently misattribute
+	// latencies instead of failing.
+	h := NewHistogram()
+	h.Record(500)
+	other := &Histogram{counts: make([]uint64, 8), subBuckets: 4}
+	other.counts[2] = 3
+	other.total = 3
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched-layout merge did not panic")
+		}
+		if h.Count() != 1 {
+			t.Fatalf("failed merge mutated receiver: count = %d", h.Count())
+		}
+	}()
+	h.Merge(other)
+}
+
+func TestHistogramMergeEmptyMismatchIgnored(t *testing.T) {
+	// An empty histogram carries no counts to misattribute, so merging it
+	// stays a no-op regardless of layout (the nil/empty fast path).
+	h := NewHistogram()
+	h.Record(500)
+	h.Merge(&Histogram{counts: make([]uint64, 8), subBuckets: 4})
+	if h.Count() != 1 {
+		t.Fatalf("count = %d", h.Count())
+	}
+}
+
 func TestHistogramReset(t *testing.T) {
 	h := NewHistogram()
 	h.Record(5000)

@@ -1,0 +1,60 @@
+// Package par provides the bounded, deterministic fan-out primitive used
+// by the experiment orchestration layer (core.RunAll, the figures panels,
+// cmd/figures). Work items are independent and results are written by
+// index, so output order — and therefore every downstream report — is
+// identical at any parallelism level.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ForEach invokes fn(i) for every i in [0, n) with at most limit
+// invocations in flight at once. limit <= 0 defaults to
+// runtime.GOMAXPROCS(0); limit == 1 degenerates to a serial loop.
+//
+// Every index runs even when earlier ones fail; the returned error is the
+// lowest-index failure, matching what a serial loop would have reported
+// first. Callers collect results into index i of a pre-sized slice, which
+// keeps declaration order independent of completion order.
+func ForEach(n, limit int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if limit <= 0 {
+		limit = runtime.GOMAXPROCS(0)
+	}
+	if limit > n {
+		limit = n
+	}
+	if limit == 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+
+	errs := make([]error, n)
+	sem := make(chan struct{}, limit)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

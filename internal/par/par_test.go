@@ -1,0 +1,73 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsAllInOrderSlots(t *testing.T) {
+	for _, limit := range []int{0, 1, 3, 64} {
+		n := 50
+		out := make([]int, n)
+		if err := ForEach(n, limit, func(i int) error {
+			out[i] = i * i
+			return nil
+		}); err != nil {
+			t.Fatalf("limit %d: %v", limit, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("limit %d: out[%d] = %d", limit, i, v)
+			}
+		}
+	}
+}
+
+func TestForEachRespectsLimit(t *testing.T) {
+	const limit = 4
+	var inFlight, peak int64
+	err := ForEach(100, limit, func(i int) error {
+		cur := atomic.AddInt64(&inFlight, 1)
+		for {
+			p := atomic.LoadInt64(&peak)
+			if cur <= p || atomic.CompareAndSwapInt64(&peak, p, cur) {
+				break
+			}
+		}
+		atomic.AddInt64(&inFlight, -1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt64(&peak); got > limit {
+		t.Fatalf("peak concurrency %d exceeds limit %d", got, limit)
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	for _, limit := range []int{1, 8} {
+		var ran int64
+		err := ForEach(20, limit, func(i int) error {
+			atomic.AddInt64(&ran, 1)
+			if i == 3 || i == 17 {
+				return fmt.Errorf("fail at %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail at 3" {
+			t.Fatalf("limit %d: err = %v, want lowest-index failure", limit, err)
+		}
+		if ran != 20 {
+			t.Fatalf("limit %d: ran %d of 20 despite failure", limit, ran)
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(0, 4, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatal(err)
+	}
+}
