@@ -1,0 +1,142 @@
+// Command lsbench-svc runs the benchmark as a service (paper §V-B): an
+// HTTP daemon that accepts scenario×SUT job submissions, executes them on
+// a bounded worker queue under the deterministic virtual-clock runner,
+// persists every result to an append-only JSON-lines store, and serves a
+// leaderboard over it. Sealed hold-out scenarios (JSON files in
+// -holdouts) may be consumed exactly once per SUT.
+//
+// Usage:
+//
+//	lsbench-svc [-addr :8080] [-store results.jsonl] [-holdouts dir]
+//	            [-workers 2] [-queue 16] [-timeout 2m]
+//
+// Submit a job, poll it, read the leaderboard:
+//
+//	curl -s localhost:8080/v1/jobs -d '{"sut":"rmi","scenario":"smoke"}'
+//	curl -s localhost:8080/v1/jobs/j1
+//	curl -s localhost:8080/v1/jobs/j1/result
+//	curl -s 'localhost:8080/v1/leaderboard?scenario=smoke'
+//
+// SIGINT/SIGTERM drains: the listener stops, queued and running jobs
+// finish and persist, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		store    = flag.String("store", "results.jsonl", "result store path (JSON lines; empty = in-memory)")
+		holdouts = flag.String("holdouts", "", "directory of sealed hold-out scenario JSON files")
+		workers  = flag.Int("workers", 2, "concurrent benchmark runs")
+		queue    = flag.Int("queue", 16, "pending-job bound (full queue returns 429)")
+		timeout  = flag.Duration("timeout", 2*time.Minute, "per-job wall-clock timeout (0 = none)")
+	)
+	flag.Parse()
+
+	reg := core.NewHoldoutRegistry()
+	if *holdouts != "" {
+		if err := registerHoldouts(reg, *holdouts); err != nil {
+			fatal(err)
+		}
+	}
+
+	svc, err := service.New(service.Config{
+		Holdouts:   reg,
+		Workers:    *workers,
+		QueueDepth: *queue,
+		JobTimeout: *timeout,
+		StorePath:  *store,
+		LogWriter:  os.Stderr,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		err := srv.ListenAndServe()
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+	fmt.Printf("lsbench-svc: listening on %s (store %q, %d workers, queue %d, %d stored results)\n",
+		*addr, *store, *workers, *queue, svc.Store().Len())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		svc.Close()
+		fatal(err)
+	case s := <-sig:
+		fmt.Printf("lsbench-svc: %v — draining\n", s)
+	}
+
+	// Stop accepting, let in-flight HTTP requests finish, then drain the
+	// job queue so every accepted run is executed and persisted.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "lsbench-svc: shutdown:", err)
+	}
+	if err := svc.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "lsbench-svc:", err)
+	}
+	fmt.Println("lsbench-svc: drained, bye")
+}
+
+// registerHoldouts seals every *.json scenario in dir under its base name.
+// Files are re-parsed per run, so each attempt gets fresh generators and
+// the scenario contents never appear on the API.
+func registerHoldouts(reg *core.HoldoutRegistry, dir string) error {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return err
+	}
+	for _, p := range paths {
+		p := p
+		// Validate eagerly so a bad file fails at startup, not at the
+		// (single!) submission that would consume an attempt.
+		if _, err := config.Load(p); err != nil {
+			return fmt.Errorf("hold-out %s: %w", p, err)
+		}
+		name := strings.TrimSuffix(filepath.Base(p), ".json")
+		err := reg.Register(name, func() core.Scenario {
+			sc, err := config.Load(p)
+			if err != nil {
+				// Validated at startup; a later parse failure means the
+				// file changed underneath the sealed registry.
+				panic(fmt.Sprintf("lsbench-svc: hold-out %s: %v", p, err))
+			}
+			return sc
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("lsbench-svc: sealed hold-out %q\n", name)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lsbench-svc:", err)
+	os.Exit(1)
+}

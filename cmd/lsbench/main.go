@@ -126,6 +126,9 @@ func runRemote(scenario core.Scenario, addr string, workers int) {
 	if err != nil {
 		fatal(err)
 	}
+	if cerr := c.Err(); cerr != nil {
+		fatal(fmt.Errorf("remote session failed mid-run (results incomplete): %w", cerr))
+	}
 	fmt.Printf("remote run against %s\n", addr)
 	fmt.Printf("  completed: %d ops in %.3fs (%.0f ops/s)\n",
 		res.Completed, float64(res.DurationNs)/1e9, res.Throughput())

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	lsbenchd [-addr :7070] [-sut btree|hash|rmi|alex|kvstore]
+//	lsbenchd [-addr :7070] [-sut btree|hash|rmi|alex|kvstore] [-io-timeout 0]
 package main
 
 import (
@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/netdriver"
@@ -20,8 +22,9 @@ import (
 
 func main() {
 	var (
-		addr = flag.String("addr", ":7070", "listen address")
-		sut  = flag.String("sut", "btree", "SUT served per connection: btree,hash,rmi,alex,kvstore")
+		addr      = flag.String("addr", ":7070", "listen address")
+		sut       = flag.String("sut", "btree", "SUT served per connection: btree,hash,rmi,alex,kvstore")
+		ioTimeout = flag.Duration("io-timeout", 0, "per-frame read/write deadline (0 = none); reclaims connections from dead drivers")
 	)
 	flag.Parse()
 
@@ -37,7 +40,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lsbenchd: unknown SUT %q\n", *sut)
 		os.Exit(2)
 	}
-	srv, err := netdriver.Serve(*addr, factory)
+	srv, err := netdriver.ServeOptions(*addr, factory, netdriver.Options{
+		ReadTimeout:  *ioTimeout,
+		WriteTimeout: *ioTimeout,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lsbenchd:", err)
 		os.Exit(1)
@@ -45,8 +51,22 @@ func main() {
 	fmt.Printf("lsbenchd: serving %s on %s (fresh instance per connection)\n", *sut, srv.Addr())
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
-	fmt.Println("lsbenchd: shutting down")
-	srv.Close()
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	// Drain: stop accepting, then let every in-flight benchmark session
+	// run to completion instead of dropping a driver mid-measurement.
+	// Close blocks on the connection handlers' wait group.
+	fmt.Printf("lsbenchd: %v — draining in-flight connections\n", s)
+	done := make(chan struct{})
+	go func() { srv.Close(); close(done) }()
+	select {
+	case <-done:
+		fmt.Println("lsbenchd: drained, bye")
+	case s := <-sig:
+		fmt.Printf("lsbenchd: %v again — dropping remaining connections\n", s)
+		os.Exit(1)
+	case <-time.After(2 * time.Minute):
+		fmt.Println("lsbenchd: drain timeout — dropping remaining connections")
+		os.Exit(1)
+	}
 }

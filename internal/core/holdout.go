@@ -49,19 +49,33 @@ func (h *HoldoutRegistry) Names() []string {
 	return out
 }
 
+// Consumed reports whether the (hold-out, SUT-name) attempt is spent.
+func (h *HoldoutRegistry) Consumed(name, sutName string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.used[name+"|"+sutName]
+}
+
 // RunOnce executes the named hold-out against the SUT built by factory,
 // consuming the SUT's single attempt. Subsequent calls for the same
 // (hold-out, SUT-name) pair fail even if the first run errored — a spent
 // attempt is spent, exactly like a benchmark-as-a-service submission.
+//
+// RunOnce is safe for concurrent use (the service's queue workers call it
+// from several goroutines): the attempt is claimed atomically under the
+// registry mutex, so of N concurrent submissions for the same pair
+// exactly one runs. The SUT and scenario factories execute outside the
+// lock — they may be slow and may themselves consult the registry.
 func (h *HoldoutRegistry) RunOnce(r *Runner, name string, sutFactory func() SUT) (*Result, error) {
+	sut := sutFactory()
+	key := name + "|" + sut.Name()
+
 	h.mu.Lock()
 	f, ok := h.factories[name]
 	if !ok {
 		h.mu.Unlock()
 		return nil, fmt.Errorf("core: unknown hold-out %q", name)
 	}
-	sut := sutFactory()
-	key := name + "|" + sut.Name()
 	if h.used[key] {
 		h.mu.Unlock()
 		return nil, fmt.Errorf("core: hold-out %q already consumed by %q", name, sut.Name())

@@ -20,10 +20,46 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/workload"
 )
+
+// Options bounds how long either end waits on the peer. Zero values mean
+// no deadline (the pre-deadline behaviour); with a deadline set, a dead
+// or stalled peer surfaces as an I/O error instead of hanging forever.
+type Options struct {
+	// ReadTimeout bounds each frame read (server: waiting for the next
+	// request; client: waiting for the response).
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each frame write/flush.
+	WriteTimeout time.Duration
+}
+
+// deadlineConn applies per-operation deadlines around a net.Conn.
+type deadlineConn struct {
+	net.Conn
+	opts Options
+}
+
+func (c *deadlineConn) Read(p []byte) (int, error) {
+	if c.opts.ReadTimeout > 0 {
+		if err := c.Conn.SetReadDeadline(time.Now().Add(c.opts.ReadTimeout)); err != nil {
+			return 0, err
+		}
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *deadlineConn) Write(p []byte) (int, error) {
+	if c.opts.WriteTimeout > 0 {
+		if err := c.Conn.SetWriteDeadline(time.Now().Add(c.opts.WriteTimeout)); err != nil {
+			return 0, err
+		}
+	}
+	return c.Conn.Write(p)
+}
 
 const (
 	reqSize  = 1 + 8 + 8 + 4
@@ -39,19 +75,28 @@ const (
 type Server struct {
 	ln      net.Listener
 	factory func() core.SUT
+	opts    Options
 	wg      sync.WaitGroup
 	mu      sync.Mutex
 	closed  bool
 }
 
 // Serve starts a server on addr (e.g. "127.0.0.1:0") and returns it. The
-// chosen address is available via Addr.
+// chosen address is available via Addr. No I/O deadlines are applied; use
+// ServeOptions to bound waits on dead peers.
 func Serve(addr string, factory func() core.SUT) (*Server, error) {
+	return ServeOptions(addr, factory, Options{})
+}
+
+// ServeOptions is Serve with per-connection I/O deadlines: a client that
+// stops mid-session releases its connection (and SUT) after
+// opts.ReadTimeout instead of pinning them forever.
+func ServeOptions(addr string, factory func() core.SUT, opts Options) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("netdriver: listen: %w", err)
 	}
-	s := &Server{ln: ln, factory: factory}
+	s := &Server{ln: ln, factory: factory, opts: opts}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -86,8 +131,9 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-func (s *Server) handle(conn net.Conn) {
+func (s *Server) handle(raw net.Conn) {
 	sut := s.factory()
+	conn := &deadlineConn{Conn: raw, opts: s.opts}
 	r := bufio.NewReaderSize(conn, 1<<16)
 	w := bufio.NewWriterSize(conn, 1<<16)
 	req := make([]byte, reqSize)
@@ -152,29 +198,55 @@ func (s *Server) handle(conn net.Conn) {
 // Client is a core.SUT whose operations execute on a remote Server. It is
 // not safe for concurrent use (matching the SUT contract); open one client
 // per driver worker.
+//
+// The SUT interface cannot return I/O errors, so the first failure is
+// latched: every later operation short-circuits to a zero result and
+// Err() reports what went wrong — callers driving a remote SUT should
+// check it when the run finishes (cmd/lsbench does).
 type Client struct {
-	conn net.Conn
+	conn *deadlineConn
 	r    *bufio.Reader
 	name string
+	err  error
 	req  [reqSize]byte
 	resp [respSize]byte
 }
 
-// Dial connects to a netdriver server.
+// Dial connects to a netdriver server with no I/O deadlines.
 func Dial(addr string) (*Client, error) {
+	return DialOptions(addr, Options{})
+}
+
+// DialOptions connects with per-operation I/O deadlines: a dead or
+// stalled server surfaces as an error on the client (via Err and DoErr)
+// after opts.ReadTimeout instead of hanging the driver forever.
+func DialOptions(addr string, opts Options) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("netdriver: dial: %w", err)
 	}
+	dc := &deadlineConn{Conn: conn, opts: opts}
 	return &Client{
-		conn: conn,
-		r:    bufio.NewReaderSize(conn, 1<<16),
+		conn: dc,
+		r:    bufio.NewReaderSize(dc, 1<<16),
 		name: "remote(" + addr + ")",
 	}, nil
 }
 
 // Name implements core.SUT.
 func (c *Client) Name() string { return c.name }
+
+// Err returns the first I/O error the session hit, if any. Once set, all
+// subsequent operations are no-ops returning zero results.
+func (c *Client) Err() error { return c.err }
+
+// fail latches the session's first error.
+func (c *Client) fail(stage string, err error) error {
+	if c.err == nil {
+		c.err = fmt.Errorf("netdriver: %s: %w", stage, err)
+	}
+	return c.err
+}
 
 // Close terminates the session.
 func (c *Client) Close() error {
@@ -185,9 +257,13 @@ func (c *Client) Close() error {
 
 // Load implements core.SUT by streaming the pairs to the server.
 func (c *Client) Load(keys, values []uint64) {
+	if c.err != nil {
+		return
+	}
 	c.req[0] = opLoadBegin
 	binary.BigEndian.PutUint64(c.req[1:9], uint64(len(keys)))
 	if _, err := c.conn.Write(c.req[:]); err != nil {
+		c.fail("load", err)
 		return
 	}
 	buf := bufio.NewWriterSize(c.conn, 1<<16)
@@ -196,32 +272,47 @@ func (c *Client) Load(keys, values []uint64) {
 		binary.BigEndian.PutUint64(pair[0:8], k)
 		binary.BigEndian.PutUint64(pair[8:16], values[i])
 		if _, err := buf.Write(pair); err != nil {
+			c.fail("load", err)
 			return
 		}
 	}
 	if err := buf.Flush(); err != nil {
+		c.fail("load", err)
 		return
 	}
-	io.ReadFull(c.r, c.resp[:]) // ack
+	if _, err := io.ReadFull(c.r, c.resp[:]); err != nil { // ack
+		c.fail("load ack", err)
+	}
 }
 
 // Do implements core.SUT.
 func (c *Client) Do(op workload.Op) core.OpResult {
+	res, _ := c.DoErr(op)
+	return res
+}
+
+// DoErr executes one operation and surfaces the I/O error, if any —
+// callers that can handle failure (the service's remote adapters) should
+// prefer it over the error-swallowing SUT-interface Do.
+func (c *Client) DoErr(op workload.Op) (core.OpResult, error) {
+	if c.err != nil {
+		return core.OpResult{}, c.err
+	}
 	c.req[0] = byte(op.Type)
 	binary.BigEndian.PutUint64(c.req[1:9], op.Key)
 	binary.BigEndian.PutUint64(c.req[9:17], op.Value)
 	binary.BigEndian.PutUint32(c.req[17:21], uint32(op.ScanLimit))
 	if _, err := c.conn.Write(c.req[:]); err != nil {
-		return core.OpResult{}
+		return core.OpResult{}, c.fail("request", err)
 	}
 	if _, err := io.ReadFull(c.r, c.resp[:]); err != nil {
-		return core.OpResult{}
+		return core.OpResult{}, c.fail("response", err)
 	}
 	return core.OpResult{
 		Found:   c.resp[0] == 1,
 		Visited: int(binary.BigEndian.Uint32(c.resp[1:5])),
 		Work:    int64(binary.BigEndian.Uint64(c.resp[5:13])),
-	}
+	}, nil
 }
 
 var _ core.SUT = (*Client)(nil)

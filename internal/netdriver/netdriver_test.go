@@ -1,7 +1,11 @@
 package netdriver
 
 import (
+	"errors"
+	"io"
+	"net"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/distgen"
@@ -134,5 +138,116 @@ func TestDriverOverNetwork(t *testing.T) {
 func TestDialFailure(t *testing.T) {
 	if _, err := Dial("127.0.0.1:1"); err == nil {
 		t.Fatal("dial to closed port succeeded")
+	}
+}
+
+func TestClientReadDeadline(t *testing.T) {
+	// A server that accepts and then never responds: the client must
+	// surface an error after its read timeout instead of hanging.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		io.Copy(io.Discard, conn) // swallow requests, answer nothing
+	}()
+
+	c, err := DialOptions(ln.Addr().String(), Options{ReadTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	done := make(chan struct{})
+	var res core.OpResult
+	var opErr error
+	go func() {
+		res, opErr = c.DoErr(workload.Op{Type: workload.Get, Key: 1})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do hung on a dead peer despite the read deadline")
+	}
+	if opErr == nil {
+		t.Fatalf("DoErr returned no error on a dead peer (res %+v)", res)
+	}
+	var nerr net.Error
+	if !errors.As(opErr, &nerr) || !nerr.Timeout() {
+		t.Fatalf("error is not a timeout: %v", opErr)
+	}
+	if c.Err() == nil {
+		t.Fatal("session error not latched")
+	}
+	// Subsequent ops short-circuit on the latched error.
+	if _, err := c.DoErr(workload.Op{Type: workload.Get, Key: 2}); err == nil {
+		t.Fatal("latched session still issuing ops")
+	}
+	// The error-swallowing SUT-interface path stays usable (zero result).
+	if got := c.Do(workload.Op{Type: workload.Get, Key: 3}); got.Found {
+		t.Fatal("failed session returned a found result")
+	}
+}
+
+func TestServerReadDeadline(t *testing.T) {
+	// A client that connects and goes silent: with a read deadline the
+	// server must drop the connection rather than pin it forever, so
+	// Close() (which waits on handlers) returns promptly.
+	srv, err := ServeOptions("127.0.0.1:0", core.NewBTreeSUT, Options{ReadTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		srv.Close()
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// The server should close our end once its read deadline fires.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("server kept the silent connection open")
+	}
+
+	done := make(chan struct{})
+	go func() { srv.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung on the dead connection")
+	}
+}
+
+func TestDeadlinesDontBreakHealthySessions(t *testing.T) {
+	srv, err := ServeOptions("127.0.0.1:0", core.NewBTreeSUT, Options{
+		ReadTimeout:  2 * time.Second,
+		WriteTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := DialOptions(srv.Addr(), Options{ReadTimeout: 2 * time.Second, WriteTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Load([]uint64{1, 2, 3}, []uint64{10, 20, 30})
+	if c.Err() != nil {
+		t.Fatal(c.Err())
+	}
+	for i := 0; i < 100; i++ {
+		res, err := c.DoErr(workload.Op{Type: workload.Get, Key: 2})
+		if err != nil || !res.Found {
+			t.Fatalf("op %d: res=%+v err=%v", i, res, err)
+		}
 	}
 }

@@ -1,0 +1,72 @@
+package par
+
+import "sync"
+
+// Pool is the long-lived counterpart of ForEach: a fixed set of workers
+// draining a bounded task queue. It backs services that accept work over
+// time (the benchmark-as-a-service job queue) where the bound is the
+// backpressure signal — TrySubmit refuses instead of blocking, so the
+// caller can tell its client to come back later (HTTP 429).
+type Pool struct {
+	tasks chan func()
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewPool starts workers goroutines draining a queue of at most depth
+// pending tasks. workers <= 0 defaults to 1; depth <= 0 defaults to
+// workers (one pending task per worker).
+func NewPool(workers, depth int) *Pool {
+	if workers <= 0 {
+		workers = 1
+	}
+	if depth <= 0 {
+		depth = workers
+	}
+	p := &Pool{tasks: make(chan func(), depth)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for fn := range p.tasks {
+				fn()
+			}
+		}()
+	}
+	return p
+}
+
+// TrySubmit enqueues fn if the queue has room. It returns false — without
+// blocking — when the queue is full or the pool is closed.
+func (p *Pool) TrySubmit(fn func()) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.tasks <- fn:
+		return true
+	default:
+		return false
+	}
+}
+
+// Depth returns the number of tasks waiting in the queue (not counting
+// tasks already being executed by a worker).
+func (p *Pool) Depth() int { return len(p.tasks) }
+
+// Close stops accepting new tasks and waits for every queued and running
+// task to finish — the graceful-drain step of service shutdown. It is
+// idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.tasks)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,87 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsEverything(t *testing.T) {
+	p := NewPool(4, 64)
+	var n atomic.Int64
+	for i := 0; i < 64; i++ {
+		if !p.TrySubmit(func() { n.Add(1) }) {
+			t.Fatalf("submit %d refused with room in the queue", i)
+		}
+	}
+	p.Close()
+	if got := n.Load(); got != 64 {
+		t.Fatalf("ran %d of 64 tasks", got)
+	}
+}
+
+func TestPoolBackpressure(t *testing.T) {
+	// One worker blocked + depth 2 queue: the 4th submission must be
+	// refused without blocking.
+	p := NewPool(1, 2)
+	release := make(chan struct{})
+	var started sync.WaitGroup
+	started.Add(1)
+	if !p.TrySubmit(func() { started.Done(); <-release }) {
+		t.Fatal("first submit refused")
+	}
+	started.Wait() // worker occupied; queue empty
+	if !p.TrySubmit(func() {}) || !p.TrySubmit(func() {}) {
+		t.Fatal("queue-filling submits refused")
+	}
+	if p.TrySubmit(func() {}) {
+		t.Fatal("submit beyond queue depth accepted")
+	}
+	if d := p.Depth(); d != 2 {
+		t.Fatalf("Depth() = %d, want 2", d)
+	}
+	close(release)
+	p.Close()
+}
+
+func TestPoolCloseDrains(t *testing.T) {
+	p := NewPool(2, 8)
+	var n atomic.Int64
+	for i := 0; i < 8; i++ {
+		p.TrySubmit(func() {
+			time.Sleep(time.Millisecond)
+			n.Add(1)
+		})
+	}
+	p.Close() // must wait for queued + running tasks
+	if got := n.Load(); got != 8 {
+		t.Fatalf("Close returned with %d of 8 tasks done", got)
+	}
+	if p.TrySubmit(func() {}) {
+		t.Fatal("submit accepted after Close")
+	}
+	p.Close() // idempotent
+}
+
+func TestPoolConcurrentSubmitters(t *testing.T) {
+	p := NewPool(4, 1024)
+	var accepted, ran atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if p.TrySubmit(func() { ran.Add(1) }) {
+					accepted.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	p.Close()
+	if accepted.Load() != ran.Load() {
+		t.Fatalf("accepted %d but ran %d", accepted.Load(), ran.Load())
+	}
+}

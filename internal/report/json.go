@@ -1,0 +1,138 @@
+package report
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// LatencySummary is the JSON-friendly digest of a latency histogram.
+type LatencySummary struct {
+	Count  uint64  `json:"count"`
+	MeanNs float64 `json:"meanNs"`
+	MinNs  int64   `json:"minNs"`
+	P50Ns  int64   `json:"p50Ns"`
+	P90Ns  int64   `json:"p90Ns"`
+	P99Ns  int64   `json:"p99Ns"`
+	MaxNs  int64   `json:"maxNs"`
+}
+
+// SummarizeLatency digests a histogram into a LatencySummary.
+func SummarizeLatency(h *metrics.Histogram) LatencySummary {
+	if h == nil {
+		return LatencySummary{}
+	}
+	return LatencySummary{
+		Count:  h.Count(),
+		MeanNs: h.Mean(),
+		MinNs:  h.Min(),
+		P50Ns:  h.Quantile(0.5),
+		P90Ns:  h.Quantile(0.9),
+		P99Ns:  h.Quantile(0.99),
+		MaxNs:  h.Max(),
+	}
+}
+
+// PhaseView is the JSON form of one phase's results.
+type PhaseView struct {
+	Name        string         `json:"name"`
+	StartNs     int64          `json:"startNs"`
+	EndNs       int64          `json:"endNs"`
+	Completed   int64          `json:"completed"`
+	Throughput  float64        `json:"throughput"`
+	RetrainWork int64          `json:"retrainWork"`
+	Latency     LatencySummary `json:"latency"`
+}
+
+// ResultView is the JSON form of a full core.Result: every Figure 1
+// metric family digested into plain fields. The encoding is a pure
+// function of the result, so identical runs (same scenario, same seed)
+// marshal to byte-identical JSON — the property the benchmark service
+// relies on for verifiable resubmissions.
+type ResultView struct {
+	Scenario string `json:"scenario"`
+	SUT      string `json:"sut"`
+
+	Completed  int64   `json:"completed"`
+	DurationNs int64   `json:"durationNs"`
+	Throughput float64 `json:"throughput"`
+
+	Latency LatencySummary `json:"latency"`
+	Phases  []PhaseView    `json:"phases"`
+
+	// Figure 1b/1c digests.
+	SLANs         int64   `json:"slaNs"`
+	ViolationRate float64 `json:"violationRate"`
+	AreaVsIdeal   float64 `json:"areaVsIdeal"`
+	// AdjustmentNs holds, per phase change, the adjustment-speed metric
+	// (virtual ns the system spent over SLA right after the change).
+	AdjustmentNs []int64 `json:"adjustmentNs,omitempty"`
+
+	// Lesson 3: training accounting.
+	OfflineTrainWork int64 `json:"offlineTrainWork"`
+	OnlineTrainWork  int64 `json:"onlineTrainWork"`
+	Models           int   `json:"models"`
+	MaxModels        int   `json:"maxModels"`
+	Retrains         int   `json:"retrains"`
+}
+
+// NewResultView digests a core.Result into its JSON view.
+func NewResultView(r *core.Result) ResultView {
+	v := ResultView{
+		Scenario:         r.Scenario,
+		SUT:              r.SUT,
+		Completed:        r.Completed,
+		DurationNs:       r.DurationNs,
+		Throughput:       r.Throughput(),
+		Latency:          SummarizeLatency(r.Latency),
+		SLANs:            r.SLANs,
+		OfflineTrainWork: r.OfflineTrainWork,
+		OnlineTrainWork:  r.OnlineTrainWork,
+		Models:           r.Models,
+		MaxModels:        r.MaxModels,
+		Retrains:         r.Retrains,
+	}
+	if r.Bands != nil {
+		v.ViolationRate = r.Bands.ViolationRate()
+	}
+	if r.Cumulative != nil {
+		v.AreaVsIdeal = r.Cumulative.AreaVsIdeal()
+	}
+	for _, p := range r.Phases {
+		v.Phases = append(v.Phases, PhaseView{
+			Name:        p.Name,
+			StartNs:     p.StartNs,
+			EndNs:       p.EndNs,
+			Completed:   p.Completed,
+			Throughput:  p.Throughput(),
+			RetrainWork: p.RetrainWork,
+			Latency:     SummarizeLatency(p.Latency),
+		})
+	}
+	for _, lats := range r.PostChangeLatencies {
+		v.AdjustmentNs = append(v.AdjustmentNs, metrics.AdjustmentSpeed(lats, r.SLANs, len(lats)))
+	}
+	return v
+}
+
+// MarshalResult renders the result view as indented JSON with a trailing
+// newline. Identical results produce byte-identical output.
+func MarshalResult(r *core.Result) ([]byte, error) {
+	data, err := json.MarshalIndent(NewResultView(r), "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// EncodeResult writes MarshalResult output to w.
+func EncodeResult(w io.Writer, r *core.Result) error {
+	data, err := MarshalResult(r)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}

@@ -1,0 +1,117 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Row is one leaderboard line: a SUT's standing on a scenario, digested
+// from its most recent stored run.
+type Row struct {
+	Rank int    `json:"rank"`
+	SUT  string `json:"sut"`
+	// Runs counts all stored runs of this SUT on the scenario; the other
+	// fields come from the most recent one.
+	Runs          int     `json:"runs"`
+	Throughput    float64 `json:"throughput"`
+	P50Ns         int64   `json:"p50Ns"`
+	P99Ns         int64   `json:"p99Ns"`
+	ViolationRate float64 `json:"violationRate"`
+	// TrainWork is the run's total charged training work (offline +
+	// online) — Lesson 3: training is never free.
+	TrainWork int64 `json:"trainWork"`
+	// CostToOutperform is the paper's Figure 1d metric reduced to the
+	// store: the training work this SUT spent, provided it beats the
+	// best training-free (traditional) SUT's throughput on the same
+	// scenario; -1 when it never outperforms that baseline (or when it
+	// is itself training-free).
+	CostToOutperform int64 `json:"costToOutperform"`
+}
+
+// Leaderboard ranks SUTs on a scenario by metric: "throughput" (desc,
+// default), "p99" (asc), or "cost" (training-cost-to-outperform asc,
+// non-outperformers last). Ties break by SUT name so output is
+// deterministic.
+func Leaderboard(entries []Entry, scenario, metric string) ([]Row, error) {
+	if metric == "" {
+		metric = "throughput"
+	}
+	switch metric {
+	case "throughput", "p99", "cost":
+	default:
+		return nil, fmt.Errorf("service: unknown leaderboard metric %q (have: throughput, p99, cost)", metric)
+	}
+
+	bySUT := make(map[string]*Row)
+	for _, e := range entries {
+		if e.Scenario != scenario {
+			continue
+		}
+		r, ok := bySUT[e.SUT]
+		if !ok {
+			r = &Row{SUT: e.SUT}
+			bySUT[e.SUT] = r
+		}
+		// Later entries overwrite: the leaderboard reflects each SUT's
+		// most recent run.
+		r.Runs++
+		r.Throughput = e.Result.Throughput
+		r.P50Ns = e.Result.Latency.P50Ns
+		r.P99Ns = e.Result.Latency.P99Ns
+		r.ViolationRate = e.Result.ViolationRate
+		r.TrainWork = e.Result.OfflineTrainWork + e.Result.OnlineTrainWork
+	}
+
+	rows := make([]Row, 0, len(bySUT))
+	for _, r := range bySUT {
+		rows = append(rows, *r)
+	}
+
+	// Baseline for the cost metric: the best throughput among
+	// training-free SUTs — the "tuned traditional system" of Fig 1d.
+	var baseline float64
+	hasBaseline := false
+	for _, r := range rows {
+		if r.TrainWork == 0 && r.Throughput > baseline {
+			baseline = r.Throughput
+			hasBaseline = true
+		}
+	}
+	for i := range rows {
+		r := &rows[i]
+		r.CostToOutperform = -1
+		if r.TrainWork > 0 && (!hasBaseline || r.Throughput > baseline) {
+			r.CostToOutperform = r.TrainWork
+		}
+	}
+
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		switch metric {
+		case "p99":
+			if a.P99Ns != b.P99Ns {
+				return a.P99Ns < b.P99Ns
+			}
+		case "cost":
+			ao, bo := a.CostToOutperform >= 0, b.CostToOutperform >= 0
+			if ao != bo {
+				return ao
+			}
+			if ao && a.CostToOutperform != b.CostToOutperform {
+				return a.CostToOutperform < b.CostToOutperform
+			}
+			if !ao && a.Throughput != b.Throughput {
+				return a.Throughput > b.Throughput
+			}
+		default: // throughput
+			if a.Throughput != b.Throughput {
+				return a.Throughput > b.Throughput
+			}
+		}
+		return a.SUT < b.SUT
+	})
+	for i := range rows {
+		rows[i].Rank = i + 1
+	}
+	return rows, nil
+}

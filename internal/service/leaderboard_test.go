@@ -1,0 +1,103 @@
+package service
+
+import (
+	"testing"
+
+	"repro/internal/report"
+)
+
+func lbEntry(id, sut string, tput float64, p99 int64, train int64) Entry {
+	return Entry{
+		JobID:    id,
+		Scenario: "s",
+		SUT:      sut,
+		Result: report.ResultView{
+			Scenario:         "s",
+			SUT:              sut,
+			Throughput:       tput,
+			Latency:          report.LatencySummary{P50Ns: p99 / 2, P99Ns: p99},
+			OfflineTrainWork: train,
+		},
+	}
+}
+
+func TestLeaderboardThroughput(t *testing.T) {
+	entries := []Entry{
+		lbEntry("j1", "btree", 100, 500, 0),
+		lbEntry("j2", "rmi", 300, 200, 5000),
+		lbEntry("j3", "alex", 200, 300, 2000),
+		lbEntry("j4", "other-scenario", 999, 1, 0), // different scenario name in SUT slot
+	}
+	entries[3].Scenario = "other"
+	rows, err := Leaderboard(entries, "s", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (other scenario filtered)", len(rows))
+	}
+	if rows[0].SUT != "rmi" || rows[1].SUT != "alex" || rows[2].SUT != "btree" {
+		t.Fatalf("throughput order wrong: %s %s %s", rows[0].SUT, rows[1].SUT, rows[2].SUT)
+	}
+	if rows[0].Rank != 1 || rows[2].Rank != 3 {
+		t.Fatalf("ranks wrong: %+v", rows)
+	}
+}
+
+func TestLeaderboardLatestRunWins(t *testing.T) {
+	entries := []Entry{
+		lbEntry("j1", "rmi", 100, 500, 1000),
+		lbEntry("j2", "rmi", 400, 100, 1000), // resubmission improves
+	}
+	rows, err := Leaderboard(entries, "s", "throughput")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Runs != 2 || rows[0].Throughput != 400 {
+		t.Fatalf("latest-run aggregation wrong: %+v", rows)
+	}
+}
+
+func TestLeaderboardP99(t *testing.T) {
+	entries := []Entry{
+		lbEntry("j1", "btree", 100, 500, 0),
+		lbEntry("j2", "rmi", 300, 200, 5000),
+	}
+	rows, err := Leaderboard(entries, "s", "p99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].SUT != "rmi" || rows[1].SUT != "btree" {
+		t.Fatalf("p99 order wrong: %+v", rows)
+	}
+}
+
+func TestLeaderboardCost(t *testing.T) {
+	entries := []Entry{
+		lbEntry("j1", "btree", 200, 500, 0),    // traditional baseline
+		lbEntry("j2", "rmi", 300, 200, 5000),   // outperforms, cost 5000
+		lbEntry("j3", "alex", 250, 300, 2000),  // outperforms, cost 2000
+		lbEntry("j4", "slowml", 150, 900, 100), // trains but never outperforms
+	}
+	rows, err := Leaderboard(entries, "s", "cost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].SUT != "alex" || rows[1].SUT != "rmi" {
+		t.Fatalf("cost order wrong: %+v", rows)
+	}
+	if rows[0].CostToOutperform != 2000 || rows[1].CostToOutperform != 5000 {
+		t.Fatalf("costs wrong: %+v", rows)
+	}
+	for _, r := range rows[2:] {
+		if r.CostToOutperform != -1 {
+			t.Fatalf("%s should not have a cost-to-outperform: %+v", r.SUT, r)
+		}
+	}
+}
+
+func TestLeaderboardUnknownMetric(t *testing.T) {
+	if _, err := Leaderboard(nil, "s", "vibes"); err == nil {
+		t.Fatal("unknown metric accepted")
+	}
+}

@@ -1,0 +1,73 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// statusWriter captures the status code and byte count a handler wrote.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += n
+	return n, err
+}
+
+// requestLog is one structured access-log line.
+type requestLog struct {
+	Time   string `json:"ts"`
+	Method string `json:"method"`
+	Path   string `json:"path"`
+	Status int    `json:"status"`
+	Bytes  int    `json:"bytes"`
+	Micros int64  `json:"us"`
+}
+
+// withLogging wraps next with structured (JSON-lines) request logging to
+// out. A nil writer disables logging.
+func withLogging(out io.Writer, next http.Handler) http.Handler {
+	if out == nil {
+		return next
+	}
+	var mu sync.Mutex
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		line, err := json.Marshal(requestLog{
+			Time:   start.UTC().Format(time.RFC3339Nano),
+			Method: r.Method,
+			Path:   r.URL.Path,
+			Status: sw.status,
+			Bytes:  sw.bytes,
+			Micros: time.Since(start).Microseconds(),
+		})
+		if err != nil {
+			return
+		}
+		mu.Lock()
+		out.Write(append(line, '\n'))
+		mu.Unlock()
+	})
+}

@@ -1,0 +1,79 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// observer aggregates the service's operational metrics: how many runs
+// completed and how long they took on the wall clock. Queue depth and
+// jobs-by-state are derived live from the pool and job registry when the
+// /metrics page renders.
+type observer struct {
+	mu         sync.Mutex
+	runs       int64
+	runLatency *metrics.Histogram // wall-clock ns per completed run
+}
+
+func newObserver() *observer {
+	return &observer{runLatency: metrics.NewHistogram()}
+}
+
+// observeRun records one completed (done or failed) run's wall latency.
+func (o *observer) observeRun(wallNs int64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.runs++
+	o.runLatency.Record(wallNs)
+}
+
+// jobStates is the fixed render order for per-state gauges.
+var jobStates = []JobState{JobQueued, JobRunning, JobDone, JobFailed, JobCanceled, JobTimeout}
+
+// writeMetrics renders the Prometheus-style text exposition: queue depth,
+// jobs by state, stored results, and the run-latency histogram digest.
+func (o *observer) writeMetrics(w io.Writer, queueDepth int, byState map[JobState]int, stored int) {
+	o.mu.Lock()
+	runs := o.runs
+	digest := struct {
+		count          uint64
+		mean           float64
+		p50, p99, max  int64
+	}{
+		count: o.runLatency.Count(),
+		mean:  o.runLatency.Mean(),
+		p50:   o.runLatency.Quantile(0.5),
+		p99:   o.runLatency.Quantile(0.99),
+		max:   o.runLatency.Max(),
+	}
+	o.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP lsbench_queue_depth Pending jobs waiting for a worker.")
+	fmt.Fprintln(w, "# TYPE lsbench_queue_depth gauge")
+	fmt.Fprintf(w, "lsbench_queue_depth %d\n", queueDepth)
+
+	fmt.Fprintln(w, "# HELP lsbench_jobs Jobs by lifecycle state.")
+	fmt.Fprintln(w, "# TYPE lsbench_jobs gauge")
+	for _, s := range jobStates {
+		fmt.Fprintf(w, "lsbench_jobs{state=%q} %d\n", string(s), byState[s])
+	}
+
+	fmt.Fprintln(w, "# HELP lsbench_results_stored Entries in the persistent result store.")
+	fmt.Fprintln(w, "# TYPE lsbench_results_stored gauge")
+	fmt.Fprintf(w, "lsbench_results_stored %d\n", stored)
+
+	fmt.Fprintln(w, "# HELP lsbench_runs_total Completed benchmark runs (done or failed).")
+	fmt.Fprintln(w, "# TYPE lsbench_runs_total counter")
+	fmt.Fprintf(w, "lsbench_runs_total %d\n", runs)
+
+	fmt.Fprintln(w, "# HELP lsbench_run_latency_ns Wall-clock run latency digest.")
+	fmt.Fprintln(w, "# TYPE lsbench_run_latency_ns summary")
+	fmt.Fprintf(w, "lsbench_run_latency_ns{q=\"0.5\"} %d\n", digest.p50)
+	fmt.Fprintf(w, "lsbench_run_latency_ns{q=\"0.99\"} %d\n", digest.p99)
+	fmt.Fprintf(w, "lsbench_run_latency_ns{q=\"max\"} %d\n", digest.max)
+	fmt.Fprintf(w, "lsbench_run_latency_ns_mean %g\n", digest.mean)
+	fmt.Fprintf(w, "lsbench_run_latency_ns_count %d\n", digest.count)
+}

@@ -1,0 +1,127 @@
+package service
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/report"
+)
+
+func testEntry(id, scenario, sut string, tput float64) Entry {
+	return Entry{
+		JobID:    id,
+		Scenario: scenario,
+		SUT:      sut,
+		Seed:     42,
+		Result: report.ResultView{
+			Scenario:   scenario,
+			SUT:        sut,
+			Completed:  1000,
+			DurationNs: 1_000_000_000,
+			Throughput: tput,
+			Latency:    report.LatencySummary{Count: 1000, P50Ns: 100, P99Ns: 900},
+		},
+	}
+}
+
+func TestStoreReload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	st, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range []Entry{
+		testEntry("j1", "s", "btree", 100),
+		testEntry("j2", "s", "rmi", 200),
+	} {
+		if err := st.Append(e); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	got := st2.Entries()
+	if len(got) != 2 {
+		t.Fatalf("reloaded %d entries, want 2", len(got))
+	}
+	if got[0].JobID != "j1" || got[1].JobID != "j2" {
+		t.Fatalf("order lost: %s, %s", got[0].JobID, got[1].JobID)
+	}
+	if got[1].Result.Throughput != 200 {
+		t.Fatalf("result view lost: %+v", got[1].Result)
+	}
+	// Appends after reload extend, not clobber.
+	if err := st2.Append(testEntry("j3", "s", "alex", 300)); err != nil {
+		t.Fatal(err)
+	}
+	if st2.Len() != 3 {
+		t.Fatalf("len = %d after post-reload append", st2.Len())
+	}
+}
+
+func TestStoreReloadTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	st, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Append(testEntry("j1", "s", "btree", 100))
+	st.Append(testEntry("j2", "s", "rmi", 200))
+	st.Close()
+
+	// Simulate a crash mid-append: truncate into the middle of j2's line.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-25], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := OpenStore(path)
+	if err != nil {
+		t.Fatalf("reload after torn tail: %v", err)
+	}
+	if st2.Len() != 1 {
+		t.Fatalf("reloaded %d entries, want 1 (torn j2 dropped)", st2.Len())
+	}
+	// The torn tail must be gone: the next append forms a valid line.
+	if err := st2.Append(testEntry("j3", "s", "alex", 300)); err != nil {
+		t.Fatal(err)
+	}
+	st2.Close()
+
+	st3, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	got := st3.Entries()
+	if len(got) != 2 || got[0].JobID != "j1" || got[1].JobID != "j3" {
+		t.Fatalf("after torn-tail repair got %d entries: %+v", len(got), got)
+	}
+}
+
+func TestStoreInMemory(t *testing.T) {
+	st, err := OpenStore("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(testEntry("j1", "s", "btree", 100)); err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 1 {
+		t.Fatalf("len = %d", st.Len())
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
