@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race race check cover bench figures examples clean
+.PHONY: all build vet test test-race race check cover bench bench-smoke figures examples clean
 
 all: check
 
@@ -33,6 +33,12 @@ cover:
 # series once (the figure experiments are full runs per iteration).
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+
+# bench-smoke runs every benchmark exactly once with no unit tests — a
+# cheap CI guard that the bench harnesses (including the batched-dispatch
+# micro-bench) still build and complete.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
 # Regenerate every figure, lesson ablation, and extension experiment.
 figures:

@@ -1,0 +1,137 @@
+package lsbench_test
+
+// Batch-size invariance: the runner's op-dispatch batch size is a pure
+// execution-strategy knob. Virtual-clock results — and therefore every
+// report, figure, and service job built on them — must be byte-identical
+// at any batch size. These goldens pin that contract.
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/distgen"
+	"repro/internal/figures"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+// batchGoldenScenario is a two-phase scenario with a distribution shift,
+// an open-loop arrival process, and pre-training: it exercises every part
+// of the pipeline the batch path touches (deferred SLA calibration, phase
+// stats, post-change latencies, outcome tallies).
+func batchGoldenScenario() core.Scenario {
+	return core.Scenario{
+		Name:        "batch-invariance",
+		Seed:        42,
+		InitialData: distgen.NewZipfKeys(43, 1.1, 1<<22),
+		InitialSize: 10000,
+		TrainBefore: true,
+		IntervalNs:  200_000,
+		Phases: []core.Phase{
+			{
+				Name: "steady",
+				Ops:  4000,
+				Workload: workload.Spec{
+					Mix:    workload.ReadHeavy,
+					Access: distgen.Static{G: distgen.NewZipfKeys(44, 1.1, 1 << 22)},
+				},
+			},
+			{
+				Name: "shift",
+				Ops:  4000,
+				Workload: workload.Spec{
+					Mix:    workload.Mix{GetFrac: 0.3, PutFrac: 0.55, DeleteFrac: 0.05, ScanFrac: 0.1, ScanLimit: 20},
+					Access: distgen.Static{G: distgen.NewClustered(45, 25, float64(distgen.KeyDomain)/1e6)},
+				},
+				Arrival: workload.NewDiurnal(46, 600_000, 0.5, 2),
+			},
+		},
+	}
+}
+
+// TestBatchSizeInvariance runs the golden scenario against every standard
+// SUT at several batch sizes and asserts the marshalled result JSON is
+// byte-for-byte identical to the unbatched (per-op) run.
+func TestBatchSizeInvariance(t *testing.T) {
+	factories := map[string]func() core.SUT{
+		"btree":   core.NewBTreeSUT,
+		"hash":    core.NewHashSUT,
+		"rmi":     core.NewRMISUT,
+		"alex":    core.NewALEXSUT,
+		"kvstore": core.NewKVSUTDefault,
+	}
+	batches := []int{2, 7, 64, 1000}
+	for name, f := range factories {
+		f := f
+		t.Run(name, func(t *testing.T) {
+			runner := core.NewRunner()
+			// Scenarios hold stateful generators: build a fresh one per run.
+			base, err := runner.Run(batchGoldenScenario(), f())
+			if err != nil {
+				t.Fatal(err)
+			}
+			golden, err := report.MarshalResult(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if base.Outcomes.Found == 0 || base.Outcomes.WorkUnits == 0 {
+				t.Fatalf("golden run has empty outcomes: %+v", base.Outcomes)
+			}
+			for _, b := range batches {
+				br := core.NewRunner()
+				br.Batch = b
+				res, err := br.Run(batchGoldenScenario(), f())
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := report.MarshalResult(res)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, golden) {
+					t.Fatalf("batch=%d: result JSON diverges from per-op dispatch\n--- batch ---\n%s\n--- per-op ---\n%s",
+						b, got, golden)
+				}
+				if res.Outcomes != base.Outcomes {
+					t.Fatalf("batch=%d: outcomes %+v, want %+v", b, res.Outcomes, base.Outcomes)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchSizeInvarianceFigures pins the same property one layer up: a
+// full figures panel (Fig 1b, phases + cumulative curves + area metrics)
+// produces identical per-SUT result JSON whether or not the runner
+// batches.
+func TestBatchSizeInvarianceFigures(t *testing.T) {
+	scale := figures.SmallScale()
+	run := func(batch int) [][]byte {
+		s := scale
+		s.Batch = batch
+		r, err := figures.Fig1b(s, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out [][]byte
+		for _, res := range r.FullResults {
+			data, err := report.MarshalResult(res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, data)
+		}
+		return out
+	}
+	golden := run(0)
+	batched := run(64)
+	if len(golden) != len(batched) {
+		t.Fatalf("result count differs: %d vs %d", len(golden), len(batched))
+	}
+	for i := range golden {
+		if !bytes.Equal(golden[i], batched[i]) {
+			t.Fatalf("fig1b result %d diverges between batch=0 and batch=64", i)
+		}
+	}
+}

@@ -58,6 +58,7 @@ func main() {
 		only      = flag.String("only", "", "comma-separated subset: fig1a,fig1aw,fig1b,fig1c,fig1d,lessons,optdrift,ablations,cache,sched")
 		csvDir    = flag.String("csv", "", "directory for CSV series")
 		parallelN = flag.Int("parallel", 0, "max concurrent experiment runs (0 = GOMAXPROCS, 1 = serial); output is byte-identical at any setting")
+		batchN    = flag.Int("batch", 0, "op-dispatch batch size for the virtual runner (0/1 = per-op); output is byte-identical at any setting")
 	)
 	flag.Parse()
 
@@ -71,6 +72,7 @@ func main() {
 		fatal(fmt.Errorf("unknown scale %q", *scaleName))
 	}
 	scale.Parallel = *parallelN
+	scale.Batch = *batchN
 
 	want := map[string]bool{}
 	if *only == "" {

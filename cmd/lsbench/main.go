@@ -62,6 +62,7 @@ func main() {
 		example    = flag.Bool("example", false, "print an example config and exit")
 		remote     = flag.String("remote", "", "address of a lsbenchd netdriver server (real-time mode)")
 		workers    = flag.Int("workers", 4, "driver workers in -remote mode")
+		batch      = flag.Int("batch", 0, "op-dispatch batch size (0/1 = per-op); virtual-clock results are byte-identical at any setting")
 	)
 	flag.Parse()
 
@@ -79,7 +80,7 @@ func main() {
 	}
 
 	if *remote != "" {
-		runRemote(scenario, *remote, *workers)
+		runRemote(scenario, *remote, *workers, *batch)
 		return
 	}
 
@@ -92,6 +93,7 @@ func main() {
 	}
 	var results []*core.Result
 	runner := core.NewRunner()
+	runner.Batch = *batch
 	for _, name := range strings.Split(*suts, ",") {
 		name = strings.TrimSpace(name)
 		f, ok := factories[name]
@@ -107,7 +109,7 @@ func main() {
 	printReport(results, *csvDir)
 }
 
-func runRemote(scenario core.Scenario, addr string, workers int) {
+func runRemote(scenario core.Scenario, addr string, workers, batch int) {
 	if len(scenario.Phases) != 1 {
 		fatal(fmt.Errorf("-remote mode supports single-phase scenarios"))
 	}
@@ -122,6 +124,7 @@ func runRemote(scenario core.Scenario, addr string, workers int) {
 			Ops:     scenario.Phases[0].Ops,
 			Seed:    scenario.Seed,
 			SLANs:   scenario.SLANs,
+			Batch:   batch,
 		})
 	if err != nil {
 		fatal(err)

@@ -155,11 +155,7 @@ func TestNetworkDriverMatchesVirtualSemantics(t *testing.T) {
 	// as driver.Run uses for worker 0).
 	localSUT := core.NewBTreeSUT()
 	keys := distgen.UniqueKeys(distgen.NewUniform(14, 0, 1<<30), 2000)
-	vals := make([]uint64, len(keys))
-	for i, k := range keys {
-		vals[i] = k ^ 0xDEADBEEF
-	}
-	localSUT.Load(keys, vals)
+	localSUT.Load(keys, core.LoadValues(keys))
 	// Worker 0 of driver.Run derives its stream as seed + 0*7919 + 1.
 	gen := workload.NewGenerator(spec, 15+1)
 	for i := 0; i < 3000; i++ {

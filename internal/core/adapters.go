@@ -95,6 +95,49 @@ func (s *IndexSUT) workDelta(op workload.Op, res OpResult) int64 {
 	return work
 }
 
+// DoBatch implements BatchSUT natively: runs of consecutive point lookups
+// execute in ascending key order, sweeping the index (tree leaves, model
+// segments, hash directories) with locality instead of random probes.
+// Lookups are read-only and their instrumentation deltas are intrinsic per
+// key, so the per-op results are identical to sequential dispatch — except
+// for counter advances pending from bulk loads or explicit training, which
+// sequential dispatch charges to the next op in issue order; flush them to
+// the batch's first slot so reordering cannot reattribute that work.
+func (s *IndexSUT) DoBatch(ops []workload.Op, out []OpResult) {
+	if len(ops) == 0 {
+		return
+	}
+	pending := s.flushPending()
+	doSortedGetRuns(ops, out, s.Do)
+	out[0].Work += pending
+}
+
+// flushPending consumes any instrumentation advance not yet attributed to
+// an operation, pricing it exactly as workDelta would have priced it as
+// part of the next op's work.
+func (s *IndexSUT) flushPending() int64 {
+	in, ok := s.ix.(index.Instrumented)
+	if !ok {
+		return 0
+	}
+	st := in.Stats()
+	compares := int64(st.Compares - s.lastCompare)
+	splits := int64(st.Splits - s.lastSplits)
+	train := int64(st.TrainWork - s.lastTrainWork)
+	s.lastCompare = st.Compares
+	s.lastSplits = st.Splits
+	s.lastTrainWork = st.TrainWork
+	work := compares
+	if splits > 0 {
+		work += splits * 16
+	}
+	if train > 0 {
+		work += train
+		s.online += train
+	}
+	return work
+}
+
 // Train implements Trainable when the wrapped index is trainable.
 func (s *IndexSUT) Train() TrainReport {
 	tr, ok := s.ix.(index.Trainable)
@@ -187,9 +230,38 @@ func (s *KVSUT) Do(op workload.Op) OpResult {
 	return res
 }
 
+// DoBatch implements BatchSUT natively: sorted lookup runs probe the
+// store's sorted runs in key order (sequential sparse-index hits instead
+// of random probes); mutations keep their positions so compaction timing —
+// and therefore per-op work — matches sequential execution. Counter
+// advances pending from Load (which bypasses Do) are flushed to the
+// batch's first slot, matching where sequential dispatch charges them.
+func (s *KVSUT) DoBatch(ops []workload.Op, out []OpResult) {
+	if len(ops) == 0 {
+		return
+	}
+	pending := s.flushPending()
+	doSortedGetRuns(ops, out, s.Do)
+	out[0].Work += pending
+}
+
+// flushPending consumes any counter advance not yet attributed to an
+// operation, priced exactly as Do would have priced it within the next
+// op's work.
+func (s *KVSUT) flushPending() int64 {
+	c := s.store.Counters()
+	work := int64(c.RunProbes-s.last.RunProbes) +
+		int64(c.RunsSearchedSum-s.last.RunsSearchedSum)
+	work += int64(c.CompactedBytes-s.last.CompactedBytes) / 4
+	s.last = c
+	return work
+}
+
 var (
 	_ SUT           = (*IndexSUT)(nil)
 	_ Trainable     = (*IndexSUT)(nil)
 	_ OnlineLearner = (*IndexSUT)(nil)
+	_ BatchSUT      = (*IndexSUT)(nil)
 	_ SUT           = (*KVSUT)(nil)
+	_ BatchSUT      = (*KVSUT)(nil)
 )

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/workload"
+)
+
+// BatchSUT is an optional SUT extension: execute a slice of operations in
+// one call, writing each operation's result to the matching slot of out
+// (len(out) must be >= len(ops)). Implementations must be semantically
+// equivalent to calling Do per op in order — the same OpResult stream and
+// the same final contents — so engines may dispatch in batches of any size
+// without changing results. What batching buys is amortization: one lock
+// acquisition per batch in the real-time driver, one wire round trip per
+// batch in the network driver, and cache-friendly sorted lookup runs in
+// the index SUTs.
+type BatchSUT interface {
+	SUT
+	// DoBatch executes ops[i] and stores its result in out[i].
+	DoBatch(ops []workload.Op, out []OpResult)
+}
+
+// AsBatch returns s itself when it implements BatchSUT natively, else a
+// fallback adapter that dispatches the batch one Do at a time. Engines
+// call it once per run and then use a single batched code path.
+func AsBatch(s SUT) BatchSUT {
+	if b, ok := s.(BatchSUT); ok {
+		return b
+	}
+	return seqBatch{s}
+}
+
+// seqBatch adapts a plain SUT to BatchSUT by sequential dispatch.
+type seqBatch struct{ SUT }
+
+// DoBatch implements BatchSUT.
+func (b seqBatch) DoBatch(ops []workload.Op, out []OpResult) {
+	for i, op := range ops {
+		out[i] = b.Do(op)
+	}
+}
+
+// doSortedGetRuns is the shared native-batch strategy of the index and kv
+// SUT adapters: maximal runs of consecutive Get operations are executed in
+// ascending key order (point lookups are read-only, so their per-op results
+// and instrumentation deltas are order-independent), which turns random
+// probes into locality-friendly sweeps; mutations and scans execute at
+// their original positions so batch results match sequential execution
+// exactly. Results land in the slots of their original ops.
+func doSortedGetRuns(ops []workload.Op, out []OpResult, do func(workload.Op) OpResult) {
+	var order []int
+	for i := 0; i < len(ops); {
+		if ops[i].Type != workload.Get {
+			out[i] = do(ops[i])
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(ops) && ops[j].Type == workload.Get {
+			j++
+		}
+		if j-i < 2 {
+			out[i] = do(ops[i])
+			i = j
+			continue
+		}
+		order = order[:0]
+		for k := i; k < j; k++ {
+			order = append(order, k)
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return ops[order[a]].Key < ops[order[b]].Key
+		})
+		for _, k := range order {
+			out[k] = do(ops[k])
+		}
+		i = j
+	}
+}
+
+// OpOutcomes tallies what a run's operations did: how many found their
+// key, how many lookups (Gets and Deletes) missed, and the total abstract
+// work the SUT reported. The virtual runner and the real-time driver both
+// surface it, so a driver run can be sanity-checked against the virtual
+// run of the same workload.
+type OpOutcomes struct {
+	// Found counts operations whose OpResult.Found was true.
+	Found int64
+	// NotFound counts Get and Delete operations that missed.
+	NotFound int64
+	// WorkUnits is the sum of OpResult.Work across all operations.
+	WorkUnits int64
+}
+
+// Observe folds one operation's result into the tally.
+func (o *OpOutcomes) Observe(op workload.Op, r OpResult) {
+	if r.Found {
+		o.Found++
+	} else if op.Type == workload.Get || op.Type == workload.Delete {
+		o.NotFound++
+	}
+	o.WorkUnits += r.Work
+}

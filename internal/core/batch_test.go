@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// randomOps builds a deterministic mixed op sequence: point lookups
+// (present and absent keys), inserts, deletes, and scans over a bounded
+// key universe, with long lookup runs so the sorted-batch path is
+// exercised.
+func randomOps(seed uint64, n int, universe uint64) []workload.Op {
+	rng := stats.NewRNG(seed)
+	ops := make([]workload.Op, n)
+	// Force the first two ops to be a descending lookup pair: the batch
+	// path sorts them, so slot 0 is not the first op executed. Sequential
+	// dispatch charges instrumentation work pending from Load/Train to
+	// slot 0; this shape proves batched dispatch attributes it the same
+	// way instead of leaking it onto the smallest-key lookup.
+	ops[0] = workload.Op{Type: workload.Get, Key: universe - 2}
+	ops[1] = workload.Op{Type: workload.Get, Key: 2}
+	for i := 2; i < n; i++ {
+		r := rng.Float64()
+		key := rng.Uint64() % universe
+		switch {
+		case r < 0.70:
+			ops[i] = workload.Op{Type: workload.Get, Key: key}
+		case r < 0.85:
+			ops[i] = workload.Op{Type: workload.Put, Key: key, Value: rng.Uint64()}
+		case r < 0.95:
+			ops[i] = workload.Op{Type: workload.Delete, Key: key}
+		default:
+			ops[i] = workload.Op{Type: workload.Scan, Key: key, ScanLimit: 50}
+		}
+	}
+	return ops
+}
+
+// loadedSUT builds a SUT preloaded with every even key below universe.
+func loadedSUT(f func() SUT, universe uint64) SUT {
+	keys := make([]uint64, 0, universe/2)
+	for k := uint64(0); k < universe; k += 2 {
+		keys = append(keys, k)
+	}
+	s := f()
+	s.Load(keys, LoadValues(keys))
+	return s
+}
+
+// plainSUT hides a SUT's native DoBatch so AsBatch takes the sequential
+// fallback adapter.
+type plainSUT struct{ SUT }
+
+// TestBatchSequentialEquivalence is the BatchSUT contract check: for every
+// registered SUT, randomized op sequences dispatched through DoBatch at
+// several batch sizes must produce the identical OpResult stream and the
+// identical final contents as sequential Do.
+func TestBatchSequentialEquivalence(t *testing.T) {
+	const universe = 4096
+	factories := map[string]func() SUT{
+		"btree":   NewBTreeSUT,
+		"hash":    NewHashSUT,
+		"rmi":     NewRMISUT,
+		"alex":    NewALEXSUT,
+		"kvstore": NewKVSUTDefault,
+		// The fallback adapter must satisfy the same contract.
+		"fallback": func() SUT { return plainSUT{NewBTreeSUT()} },
+	}
+	batchSizes := []int{1, 2, 3, 7, 16, 64, 257}
+	for name, f := range factories {
+		f := f
+		t.Run(name, func(t *testing.T) {
+			ops := randomOps(11, 3000, universe)
+			seq := loadedSUT(f, universe)
+			want := make([]OpResult, len(ops))
+			for i, op := range ops {
+				want[i] = seq.Do(op)
+			}
+			for _, bs := range batchSizes {
+				bat := AsBatch(loadedSUT(f, universe))
+				got := make([]OpResult, len(ops))
+				for i := 0; i < len(ops); i += bs {
+					end := i + bs
+					if end > len(ops) {
+						end = len(ops)
+					}
+					bat.DoBatch(ops[i:end], got[i:end])
+				}
+				for i := range ops {
+					if got[i] != want[i] {
+						t.Fatalf("batch=%d op %d (%v): got %+v, want %+v",
+							bs, i, ops[i], got[i], want[i])
+					}
+				}
+				// Final contents: probe the whole universe through the
+				// SUT interface on both instances.
+				for k := uint64(0); k < universe; k++ {
+					a := seq.Do(workload.Op{Type: workload.Get, Key: k})
+					b := bat.Do(workload.Op{Type: workload.Get, Key: k})
+					if a.Found != b.Found {
+						t.Fatalf("batch=%d key %d: sequential Found=%v, batched Found=%v",
+							bs, k, a.Found, b.Found)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestOpOutcomesObserve pins the tally semantics: Found counts hits of any
+// op type, NotFound counts only missed lookups (Get/Delete), and WorkUnits
+// sums everything.
+func TestOpOutcomesObserve(t *testing.T) {
+	var o OpOutcomes
+	o.Observe(workload.Op{Type: workload.Get}, OpResult{Found: true, Work: 3})
+	o.Observe(workload.Op{Type: workload.Get}, OpResult{Found: false, Work: 2})
+	o.Observe(workload.Op{Type: workload.Delete}, OpResult{Found: false, Work: 1})
+	o.Observe(workload.Op{Type: workload.Put}, OpResult{Found: false, Work: 4})
+	o.Observe(workload.Op{Type: workload.Scan}, OpResult{Found: false, Work: 5})
+	if o.Found != 1 || o.NotFound != 2 || o.WorkUnits != 15 {
+		t.Fatalf("outcomes = %+v, want Found=1 NotFound=2 WorkUnits=15", o)
+	}
+}

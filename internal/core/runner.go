@@ -38,14 +38,12 @@ type Result struct {
 	Scenario string
 	SUT      string
 
-	// Figure 1a: per-interval throughput and latency.
-	Timeline *metrics.Timeline
-	// Figure 1b: cumulative completions over virtual time.
-	Cumulative *metrics.CumCurve
-	// Figure 1c: SLA latency bands.
-	Bands *metrics.BandTracker
-	// Overall latency histogram.
-	Latency *metrics.Histogram
+	// Snapshot is the shared measurement quadruple (Fig 1a timeline,
+	// Fig 1b cumulative curve, Fig 1c SLA bands, overall latency
+	// histogram) plus the SLA threshold and completion count, produced
+	// by the one metrics.Collector pipeline every engine uses.
+	metrics.Snapshot
+
 	// Per-phase breakdown.
 	Phases []PhaseResult
 	// PhaseStarts are the virtual times each phase began — the
@@ -55,6 +53,10 @@ type Result struct {
 	// latencies of the first operations after the change (input to the
 	// AdjustmentSpeed metric).
 	PostChangeLatencies [][]int64
+
+	// Outcomes tallies found/not-found lookups and total SUT work, for
+	// sanity-checking against real-time driver runs of the same workload.
+	Outcomes OpOutcomes
 
 	// Lesson 3: training accounting.
 	OfflineTrainWork int64
@@ -67,11 +69,8 @@ type Result struct {
 	MaxModels int
 	Retrains  int
 
-	// SLA threshold used (ns).
-	SLANs int64
-	// Total virtual duration (ns) and completed ops.
+	// Total virtual duration (ns).
 	DurationNs int64
-	Completed  int64
 }
 
 // recordModels folds one training report's model count into the result:
@@ -103,6 +102,14 @@ type Runner struct {
 	// returned in factory order and, because RunAll materializes every
 	// stateful input first, are bit-identical at any setting.
 	Parallel int
+	// Batch is the op-dispatch batch size: up to Batch operations are
+	// generated ahead and executed through the SUT's BatchSUT path (native
+	// or adapted) before their completions are priced on the virtual
+	// clock. 0 or 1 dispatches one op at a time. Because op generation
+	// never depends on execution results and BatchSUT implementations are
+	// result-equivalent to sequential Do, results are byte-identical at
+	// every batch size.
+	Batch int
 }
 
 // NewRunner returns a runner with the default cost model.
@@ -123,19 +130,9 @@ func (r *Runner) Run(s Scenario, sut SUT) (*Result, error) {
 	if keys == nil {
 		keys = distgen.UniqueKeys(s.InitialData, s.InitialSize)
 	}
-	values := make([]uint64, len(keys))
-	for i, k := range keys {
-		values[i] = k ^ 0xDEADBEEF
-	}
-	sut.Load(keys, values)
+	sut.Load(keys, LoadValues(keys))
 
-	res := &Result{
-		Scenario:   s.Name,
-		SUT:        sut.Name(),
-		Timeline:   metrics.NewTimeline(s.interval()),
-		Cumulative: &metrics.CumCurve{},
-		Latency:    metrics.NewHistogram(),
-	}
+	res := &Result{Scenario: s.Name, SUT: sut.Name()}
 
 	// Offline training phase (charged, not hidden — Lesson 3).
 	if s.TrainBefore {
@@ -147,21 +144,29 @@ func (r *Runner) Run(s Scenario, sut SUT) (*Result, error) {
 		}
 	}
 
-	// SLA: fixed by scenario, else calibrated deterministically from the
-	// first phase's first (up to) 1000 latencies — the paper's rule of
-	// deriving the threshold from baseline latency statistics on the
-	// same workload. Until the threshold exists, completions are parked
-	// in `pending` and replayed into the band tracker on creation.
-	sla := s.SLANs
-	bands := (*metrics.BandTracker)(nil)
-	var pending []comp
+	// One measurement pipeline for the whole run. SLA: fixed by the
+	// scenario, else calibrated deterministically from the first phase's
+	// first (up to) 1000 latencies — the paper's rule of deriving the
+	// threshold from baseline latency statistics on the same workload.
+	col := metrics.NewCollector(metrics.CollectorConfig{
+		IntervalNs: s.interval(),
+		SLANs:      s.SLANs,
+	})
+
+	batch := r.Batch
+	if batch < 1 {
+		batch = 1
+	}
+	bsut := AsBatch(sut)
+	ops := make([]workload.Op, batch)
+	gaps := make([]int64, batch)
+	outs := make([]OpResult, batch)
 
 	onlineBase := int64(0)
 	if ol, ok := sut.(OnlineLearner); ok {
 		onlineBase = ol.OnlineTrainWork()
 	}
 
-	var completed int64
 	for pi, phase := range s.Phases {
 		pres := PhaseResult{Name: phase.Name, StartNs: clock.Now(), Latency: metrics.NewHistogram()}
 		res.PhaseStarts = append(res.PhaseStarts, pres.StartNs)
@@ -192,66 +197,57 @@ func (r *Runner) Run(s Scenario, sut SUT) (*Result, error) {
 			}
 		}
 
-		// Single-server queue in virtual time.
+		// Single-server queue in virtual time. Operations are generated
+		// and dispatched in batches; generation draws (op stream, arrival
+		// gaps) never depend on execution results, so the queue math below
+		// prices the identical completion sequence at any batch size.
 		prevArrival := clock.Now()
 		serverFree := clock.Now()
 		var postChange []int64
 
-		for i := 0; i < phase.Ops; i++ {
-			progress := float64(i) / float64(phase.Ops)
-			var op workload.Op
-			var gap int64
-			if phase.Trace != nil {
-				op = phase.Trace.Ops[i]
-				gap = phase.Trace.Gaps[i]
-			} else {
-				op = gen.Next(progress)
-				gap = arrival.NextGap(progress)
+		for i := 0; i < phase.Ops; i += batch {
+			bn := batch
+			if rest := phase.Ops - i; bn > rest {
+				bn = rest
 			}
-			var arrive int64
-			if gap == 0 {
-				// Closed loop: arrive when the server frees up.
-				arrive = serverFree
-			} else {
-				arrive = prevArrival + gap
-			}
-			prevArrival = arrive
-
-			start := arrive
-			if serverFree > start {
-				start = serverFree
-			}
-			opRes := sut.Do(op)
-			service := r.Cost.ServiceTime(opRes.Work)
-			done := start + service
-			serverFree = done
-			clock.AdvanceTo(done)
-
-			latency := done - arrive
-			completed++
-			res.Cumulative.Add(done, completed)
-			res.Timeline.Record(done, latency)
-			res.Latency.Record(latency)
-			pres.Latency.Record(latency)
-			pres.Completed++
-
-			if bands == nil {
-				pending = append(pending, comp{done, latency})
-				if sla == 0 && len(pending) == 1000 {
-					sla = calibrateComps(pending)
+			for j := 0; j < bn; j++ {
+				progress := float64(i+j) / float64(phase.Ops)
+				if phase.Trace != nil {
+					ops[j] = phase.Trace.Ops[i+j]
+					gaps[j] = phase.Trace.Gaps[i+j]
+				} else {
+					ops[j] = gen.Next(progress)
+					gaps[j] = arrival.NextGap(progress)
 				}
-				if sla > 0 {
-					bands = metrics.NewBandTracker(sla, s.interval())
-					for _, c := range pending {
-						bands.Record(c.t, c.lat)
-					}
-					pending = nil
-				}
-			} else {
-				bands.Record(done, latency)
 			}
-			if pi > 0 && len(postChange) < r.PostChangeN {
-				postChange = append(postChange, latency)
+			bsut.DoBatch(ops[:bn], outs[:bn])
+			for j := 0; j < bn; j++ {
+				var arrive int64
+				if gaps[j] == 0 {
+					// Closed loop: arrive when the server frees up.
+					arrive = serverFree
+				} else {
+					arrive = prevArrival + gaps[j]
+				}
+				prevArrival = arrive
+
+				start := arrive
+				if serverFree > start {
+					start = serverFree
+				}
+				service := r.Cost.ServiceTime(outs[j].Work)
+				done := start + service
+				serverFree = done
+				clock.AdvanceTo(done)
+
+				latency := done - arrive
+				col.Record(done, latency)
+				pres.Latency.Record(latency)
+				pres.Completed++
+				res.Outcomes.Observe(ops[j], outs[j])
+				if pi > 0 && len(postChange) < r.PostChangeN {
+					postChange = append(postChange, latency)
+				}
 			}
 		}
 		pres.EndNs = clock.Now()
@@ -259,55 +255,20 @@ func (r *Runner) Run(s Scenario, sut SUT) (*Result, error) {
 		if pi > 0 {
 			res.PostChangeLatencies = append(res.PostChangeLatencies, postChange)
 		}
-		if pi == 0 && sla == 0 {
-			// Phase 0 shorter than the calibration window: calibrate
-			// from whatever it produced so later phases are tracked.
-			sla = calibrateComps(pending)
-		}
-		if bands == nil && sla > 0 {
-			bands = metrics.NewBandTracker(sla, s.interval())
-			for _, c := range pending {
-				bands.Record(c.t, c.lat)
-			}
-			pending = nil
+		if pi == 0 {
+			// Phase 0 may be shorter than the calibration window:
+			// calibrate from whatever it produced so later phases are
+			// tracked. No-op when band tracking already started.
+			col.Calibrate()
 		}
 	}
 
-	if bands == nil {
-		bands = metrics.NewBandTracker(calibrateComps(pending), s.interval())
-		for _, c := range pending {
-			bands.Record(c.t, c.lat)
-		}
-	}
-	if sla == 0 {
-		sla = bands.SLA()
-	}
-	res.Bands = bands
-	res.SLANs = sla
+	res.Snapshot = col.Snapshot()
 	res.DurationNs = clock.Now()
-	res.Completed = completed
 	if ol, ok := sut.(OnlineLearner); ok {
 		res.OnlineTrainWork = ol.OnlineTrainWork() - onlineBase
 	}
 	return res, nil
-}
-
-// calibrateComps derives an SLA threshold from observed completions per
-// the paper's baseline-statistics rule: a generous multiple of the median
-// so that steady-state operation is comfortably within SLA and only
-// adaptation disruptions violate it.
-// comp is a parked completion awaiting SLA calibration.
-type comp struct{ t, lat int64 }
-
-func calibrateComps(comps []comp) int64 {
-	if len(comps) == 0 {
-		return 1_000_000 // 1ms fallback
-	}
-	h := metrics.NewHistogram()
-	for _, c := range comps {
-		h.Record(c.lat)
-	}
-	return metrics.CalibrateSLA(h, 0.5, 20)
 }
 
 // RunAll executes the scenario against multiple SUT factories, returning

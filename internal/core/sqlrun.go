@@ -103,16 +103,12 @@ func (s *SteeredOptimizer) Execute(q optimizer.Query) (int, error) {
 }
 
 // SQLRunResult carries the metrics of a SQL workload run — the same metric
-// families as the KV runner, so the report layer is shared.
+// families as the KV runner (one shared metrics.Snapshot), so the report
+// layer is shared.
 type SQLRunResult struct {
-	System     string
-	Timeline   *metrics.Timeline
-	Cumulative *metrics.CumCurve
-	Bands      *metrics.BandTracker
-	Latency    *metrics.Histogram
-	SLANs      int64
+	System string
+	metrics.Snapshot
 	DurationNs int64
-	Completed  int64
 	TrainWork  int64
 	// ChangeAt is the virtual time of the database drift instant (0 if
 	// the run had none).
@@ -158,22 +154,23 @@ func RunSQL(s SQLScenario, sys QuerySystem, cm sim.CostModel) (*SQLRunResult, er
 		interval = 1_000_000
 	}
 	clock := &sim.Virtual{}
-	res := &SQLRunResult{
-		System:     sys.Name(),
-		Timeline:   metrics.NewTimeline(interval),
-		Cumulative: &metrics.CumCurve{},
-		Latency:    metrics.NewHistogram(),
-	}
+	res := &SQLRunResult{System: sys.Name()}
 	mutateAfter := -1
 	if s.MutateAt > 0 && s.MutateAt < 1 && s.Mutate != nil {
 		mutateAfter = int(s.MutateAt * float64(s.N))
 	}
-	sla := s.SLANs
+	// SLA: fixed by the scenario, else calibrated from the first quarter
+	// of the run (SQL streams are short relative to KV runs, so the
+	// window scales with N instead of the KV default of 1000).
 	calibrateAfter := s.N / 4
 	if calibrateAfter < 1 {
 		calibrateAfter = 1
 	}
-	var pend []comp
+	col := metrics.NewCollector(metrics.CollectorConfig{
+		IntervalNs:     interval,
+		SLANs:          s.SLANs,
+		CalibrateAfter: calibrateAfter,
+	})
 	for i := 0; i < s.N; i++ {
 		if i == mutateAfter {
 			s.Mutate()
@@ -185,40 +182,12 @@ func RunSQL(s SQLScenario, sys QuerySystem, cm sim.CostModel) (*SQLRunResult, er
 		}
 		service := cm.ServiceTime(int64(work))
 		clock.Advance(service)
-		done := clock.Now()
-		res.Completed++
-		res.Cumulative.Add(done, res.Completed)
-		res.Timeline.Record(done, service)
-		res.Latency.Record(service)
-		if res.Bands == nil {
-			pend = append(pend, comp{done, service})
-			if sla == 0 && len(pend) == calibrateAfter {
-				sla = calibrateComps(pend)
-			}
-			if sla > 0 {
-				res.Bands = metrics.NewBandTracker(sla, interval)
-				for _, c := range pend {
-					res.Bands.Record(c.t, c.lat)
-				}
-				pend = nil
-			}
-		} else {
-			res.Bands.Record(done, service)
-		}
+		col.Record(clock.Now(), service)
 		if res.ChangeAt > 0 {
 			res.PostChangeLatencies = append(res.PostChangeLatencies, service)
 		}
 	}
-	if res.Bands == nil {
-		res.Bands = metrics.NewBandTracker(calibrateComps(pend), interval)
-		for _, c := range pend {
-			res.Bands.Record(c.t, c.lat)
-		}
-	}
-	if sla == 0 {
-		sla = res.Bands.SLA()
-	}
-	res.SLANs = sla
+	res.Snapshot = col.Snapshot()
 	res.DurationNs = clock.Now()
 	res.TrainWork = sys.TrainWork()
 	return res, nil

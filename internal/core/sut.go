@@ -30,6 +30,22 @@ type SUT interface {
 	Do(op workload.Op) OpResult
 }
 
+// ValueFor derives the canonical load value for a key. Every engine that
+// bulk-loads an initial database (virtual runner, real-time driver, tests)
+// uses this one derivation so loaded contents are comparable across
+// execution modes.
+func ValueFor(k uint64) uint64 { return k ^ 0xDEADBEEF }
+
+// LoadValues maps ValueFor over keys — the value slice matching an initial
+// key set.
+func LoadValues(keys []uint64) []uint64 {
+	values := make([]uint64, len(keys))
+	for i, k := range keys {
+		values[i] = ValueFor(k)
+	}
+	return values
+}
+
 // TrainReport accounts one training phase (Lesson 3: training is a
 // first-class result).
 type TrainReport struct {

@@ -8,7 +8,6 @@ package driver
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"time"
 
@@ -35,19 +34,26 @@ type Options struct {
 	// SLANs fixes the SLA threshold; 0 calibrates from the first 1000
 	// completions (20x median).
 	SLANs int64
+	// Batch is the dispatch batch size per worker: up to Batch operations
+	// are generated ahead and executed in one BatchSUT call under a
+	// single lock acquisition (and, for remote SUTs, one wire round
+	// trip). 0 or 1 dispatches one op at a time. Batched completions
+	// share the batch's timestamps: each op in a batch reports the
+	// batch's wall latency, since the batch is the unit of service.
+	Batch int
 }
 
 // Result carries the real-time measurements — the same metric families as
-// the virtual runner, measured with the wall clock.
+// the virtual runner (one shared metrics.Snapshot), measured with the
+// wall clock.
 type Result struct {
-	SUT        string
-	Completed  int64
+	SUT string
+	metrics.Snapshot
 	DurationNs int64
-	Timeline   *metrics.Timeline
-	Cumulative *metrics.CumCurve
-	Bands      *metrics.BandTracker
-	Latency    *metrics.Histogram
-	SLANs      int64
+	// Outcomes tallies found/not-found lookups and total SUT-reported
+	// work, mirroring what the virtual runner reports so real-time runs
+	// can be sanity-checked against virtual runs of the same workload.
+	Outcomes core.OpOutcomes
 }
 
 // Throughput returns ops/second of wall time.
@@ -59,16 +65,17 @@ func (r *Result) Throughput() float64 {
 }
 
 // lockedSUT serializes access to a non-thread-safe SUT. Contention is part
-// of the measured behaviour, as it would be on a single-writer engine.
+// of the measured behaviour, as it would be on a single-writer engine;
+// batched dispatch amortizes the lock over Options.Batch operations.
 type lockedSUT struct {
-	mu  sync.Mutex
-	sut core.SUT
+	mu    sync.Mutex
+	batch core.BatchSUT
 }
 
-func (l *lockedSUT) do(op workload.Op) core.OpResult {
+func (l *lockedSUT) doBatch(ops []workload.Op, out []core.OpResult) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.sut.Do(op)
+	l.batch.DoBatch(ops, out)
 }
 
 // lockedDrift serializes a stateful drift source shared by concurrent
@@ -94,6 +101,13 @@ func (l *lockedDrift) KeysAt(p float64, n int) []uint64 {
 	return l.d.KeysAt(p, n)
 }
 
+// workerOut is one worker's contribution: samples in completion order plus
+// its op-outcome tallies.
+type workerOut struct {
+	samples  []sample
+	outcomes core.OpOutcomes
+}
+
 // Run drives the SUT with Options.Workers concurrent workers issuing
 // Options.Ops operations from the workload spec, measuring real latencies.
 func Run(sut core.SUT, spec workload.Spec, initial distgen.Generator, initialSize int, opts Options) (*Result, error) {
@@ -111,17 +125,17 @@ func Run(sut core.SUT, spec workload.Spec, initial distgen.Generator, initialSiz
 	if interval <= 0 {
 		interval = 100 * time.Millisecond.Nanoseconds()
 	}
+	batch := opts.Batch
+	if batch < 1 {
+		batch = 1
+	}
 
 	if initialSize > 0 && initial != nil {
 		keys := distgen.UniqueKeys(initial, initialSize)
-		values := make([]uint64, len(keys))
-		for i, k := range keys {
-			values[i] = k ^ 0xDEADBEEF
-		}
-		sut.Load(keys, values)
+		sut.Load(keys, core.LoadValues(keys))
 	}
 
-	locked := &lockedSUT{sut: sut}
+	locked := &lockedSUT{batch: core.AsBatch(sut)}
 
 	// Workers share the spec's stateful key sources; guard them.
 	spec.Access = &lockedDrift{d: spec.Access}
@@ -129,7 +143,7 @@ func Run(sut core.SUT, spec workload.Spec, initial distgen.Generator, initialSiz
 		spec.InsertKeys = &lockedDrift{d: spec.InsertKeys}
 	}
 
-	results := make(chan []sample, workers)
+	outs := make([]workerOut, workers)
 	perWorker := opts.Ops / workers
 	extra := opts.Ops % workers
 
@@ -144,18 +158,30 @@ func Run(sut core.SUT, spec workload.Spec, initial distgen.Generator, initialSiz
 		go func(id, n int) {
 			defer wg.Done()
 			gen := workload.NewGenerator(spec, opts.Seed+uint64(id)*7919+1)
-			out := make([]sample, 0, n)
-			for i := 0; i < n; i++ {
-				op := gen.Next(float64(i) / float64(n))
+			out := workerOut{samples: make([]sample, 0, n)}
+			ops := make([]workload.Op, batch)
+			res := make([]core.OpResult, batch)
+			for i := 0; i < n; i += batch {
+				bn := batch
+				if rest := n - i; bn > rest {
+					bn = rest
+				}
+				for j := 0; j < bn; j++ {
+					ops[j] = gen.Next(float64(i+j) / float64(n))
+				}
 				t0 := time.Now()
-				locked.do(op)
+				locked.doBatch(ops[:bn], res[:bn])
 				t1 := time.Now()
-				out = append(out, sample{
+				s := sample{
 					done:    t1.Sub(start).Nanoseconds(),
 					latency: t1.Sub(t0).Nanoseconds(),
-				})
+				}
+				for j := 0; j < bn; j++ {
+					out.samples = append(out.samples, s)
+					out.outcomes.Observe(ops[j], res[j])
+				}
 			}
-			results <- out
+			outs[id] = out
 		}(w, n)
 	}
 	wg.Wait()
@@ -163,42 +189,31 @@ func Run(sut core.SUT, spec workload.Spec, initial distgen.Generator, initialSiz
 	// histogram post-processing below are not part of the workload and
 	// must not deflate Throughput().
 	duration := time.Since(start).Nanoseconds()
-	close(results)
 
-	// Merge worker samples in completion order.
-	var all []sample
-	for out := range results {
-		all = append(all, out...)
+	// Merge worker samples into completion order. Each worker's slice is
+	// already sorted by done (appended as its ops complete), so a k-way
+	// merge suffices — no O(n log n) global sort.
+	parts := make([][]sample, workers)
+	outcomes := core.OpOutcomes{}
+	for i, o := range outs {
+		parts[i] = o.samples
+		outcomes.Found += o.outcomes.Found
+		outcomes.NotFound += o.outcomes.NotFound
+		outcomes.WorkUnits += o.outcomes.WorkUnits
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i].done < all[j].done })
+	all := mergeSamples(parts)
 
-	res := &Result{
+	col := metrics.NewCollector(metrics.CollectorConfig{
+		IntervalNs: interval,
+		SLANs:      opts.SLANs,
+	})
+	for _, s := range all {
+		col.Record(s.done, s.latency)
+	}
+	return &Result{
 		SUT:        sut.Name(),
-		Timeline:   metrics.NewTimeline(interval),
-		Cumulative: &metrics.CumCurve{},
-		Latency:    metrics.NewHistogram(),
-	}
-	sla := opts.SLANs
-	if sla == 0 {
-		h := metrics.NewHistogram()
-		n := len(all)
-		if n > 1000 {
-			n = 1000
-		}
-		for _, s := range all[:n] {
-			h.Record(s.latency)
-		}
-		sla = metrics.CalibrateSLA(h, 0.5, 20)
-	}
-	res.SLANs = sla
-	res.Bands = metrics.NewBandTracker(sla, interval)
-	for i, s := range all {
-		res.Cumulative.Add(s.done, int64(i+1))
-		res.Timeline.Record(s.done, s.latency)
-		res.Latency.Record(s.latency)
-		res.Bands.Record(s.done, s.latency)
-	}
-	res.Completed = int64(len(all))
-	res.DurationNs = duration
-	return res, nil
+		Snapshot:   col.Snapshot(),
+		DurationNs: duration,
+		Outcomes:   outcomes,
+	}, nil
 }

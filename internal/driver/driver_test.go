@@ -168,6 +168,68 @@ func TestRunValidation(t *testing.T) {
 	}
 }
 
+// TestRunBatchDispatch proves the batch knob changes only how ops are
+// dispatched, not which ops run: with one worker (so the shared drift
+// source yields a deterministic op stream), batched and per-op runs issue
+// identical ops against identical SUT state, so the outcome tallies and
+// completion counts must match exactly.
+func TestRunBatchDispatch(t *testing.T) {
+	// A small key domain so lookups actually hit loaded/inserted keys.
+	spec := func() workload.Spec {
+		return workload.Spec{
+			Mix:    workload.Balanced,
+			Access: distgen.Static{G: distgen.NewUniform(30, 0, 1 << 13)},
+		}
+	}
+	run := func(batch int) *Result {
+		res, err := Run(core.NewBTreeSUT(), spec(),
+			distgen.NewUniform(31, 0, 1<<13), 3000,
+			Options{Workers: 1, Ops: 6000, Seed: 32, Batch: batch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := run(0)
+	if base.Outcomes.WorkUnits == 0 || base.Outcomes.Found == 0 {
+		t.Fatalf("no outcomes surfaced: %+v", base.Outcomes)
+	}
+	for _, b := range []int{1, 8, 117, 10000} {
+		res := run(b)
+		if res.Completed != base.Completed {
+			t.Fatalf("batch=%d completed %d, want %d", b, res.Completed, base.Completed)
+		}
+		if res.Outcomes != base.Outcomes {
+			t.Fatalf("batch=%d outcomes %+v, want %+v", b, res.Outcomes, base.Outcomes)
+		}
+		if res.Latency.Count() != base.Latency.Count() {
+			t.Fatalf("batch=%d recorded %d latencies, want %d",
+				b, res.Latency.Count(), base.Latency.Count())
+		}
+	}
+}
+
+// TestRunBatchConcurrent smoke-tests batched dispatch under real worker
+// concurrency: every op completes and the merged curve stays monotone.
+func TestRunBatchConcurrent(t *testing.T) {
+	res, err := Run(core.NewALEXSUT(), specFor(33),
+		distgen.NewUniform(34, 0, 1<<40), 2000,
+		Options{Workers: 8, Ops: 8000, Seed: 35, Batch: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 8000 {
+		t.Fatalf("completed = %d", res.Completed)
+	}
+	prev := int64(-1)
+	res.Cumulative.Points(func(tm, c int64) {
+		if tm < prev {
+			t.Fatal("curve times out of order")
+		}
+		prev = tm
+	})
+}
+
 func TestRunFixedSLA(t *testing.T) {
 	res, err := Run(core.NewBTreeSUT(), specFor(9), nil, 0,
 		Options{Ops: 500, SLANs: 5_000_000, Seed: 10})

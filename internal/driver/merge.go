@@ -1,0 +1,90 @@
+package driver
+
+// mergeSamples k-way merges per-worker sample slices, each already in
+// non-decreasing done order, into one globally ordered slice. Ties break
+// toward the lower worker index, so the merged order is deterministic
+// given the per-worker slices. A binary min-heap over the worker cursors
+// makes this O(n log k) instead of the O(n log n) of re-sorting the
+// concatenation.
+func mergeSamples(parts [][]sample) []sample {
+	total := 0
+	live := 0
+	for _, p := range parts {
+		total += len(p)
+		if len(p) > 0 {
+			live++
+		}
+	}
+	out := make([]sample, 0, total)
+	switch live {
+	case 0:
+		return out
+	case 1:
+		for _, p := range parts {
+			if len(p) > 0 {
+				return append(out, p...)
+			}
+		}
+	}
+
+	// cursor is one worker's read position; ordering is (head done, worker
+	// index) ascending.
+	type cursor struct {
+		worker int
+		pos    int
+	}
+	heap := make([]cursor, 0, live)
+	less := func(a, b cursor) bool {
+		da, db := parts[a.worker][a.pos].done, parts[b.worker][b.pos].done
+		if da != db {
+			return da < db
+		}
+		return a.worker < b.worker
+	}
+	up := func(i int) {
+		for i > 0 {
+			parent := (i - 1) / 2
+			if !less(heap[i], heap[parent]) {
+				break
+			}
+			heap[i], heap[parent] = heap[parent], heap[i]
+			i = parent
+		}
+	}
+	down := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			smallest := i
+			if l < len(heap) && less(heap[l], heap[smallest]) {
+				smallest = l
+			}
+			if r < len(heap) && less(heap[r], heap[smallest]) {
+				smallest = r
+			}
+			if smallest == i {
+				return
+			}
+			heap[i], heap[smallest] = heap[smallest], heap[i]
+			i = smallest
+		}
+	}
+
+	for w, p := range parts {
+		if len(p) > 0 {
+			heap = append(heap, cursor{worker: w})
+			up(len(heap) - 1)
+		}
+	}
+	for len(heap) > 0 {
+		c := heap[0]
+		out = append(out, parts[c.worker][c.pos])
+		if c.pos+1 < len(parts[c.worker]) {
+			heap[0].pos++
+		} else {
+			heap[0] = heap[len(heap)-1]
+			heap = heap[:len(heap)-1]
+		}
+		down(0)
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package driver
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// refMerge is the obviously-correct reference: concatenate and stable-sort
+// by done with worker index as tiebreak (encoded via latency below).
+func refMerge(parts [][]sample) []sample {
+	type tagged struct {
+		s      sample
+		worker int
+	}
+	var all []tagged
+	for w, p := range parts {
+		for _, s := range p {
+			all = append(all, tagged{s, w})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].s.done != all[j].s.done {
+			return all[i].s.done < all[j].s.done
+		}
+		return all[i].worker < all[j].worker
+	})
+	out := make([]sample, len(all))
+	for i, t := range all {
+		out[i] = t.s
+	}
+	return out
+}
+
+func TestMergeSamplesEmpty(t *testing.T) {
+	if got := mergeSamples(nil); len(got) != 0 {
+		t.Fatalf("merge of nothing produced %d samples", len(got))
+	}
+	if got := mergeSamples([][]sample{{}, {}, {}}); len(got) != 0 {
+		t.Fatalf("merge of empties produced %d samples", len(got))
+	}
+}
+
+func TestMergeSamplesSinglePart(t *testing.T) {
+	part := []sample{{done: 1, latency: 10}, {done: 5, latency: 20}}
+	got := mergeSamples([][]sample{{}, part, {}})
+	if len(got) != len(part) {
+		t.Fatalf("len = %d, want %d", len(got), len(part))
+	}
+	for i := range part {
+		if got[i] != part[i] {
+			t.Fatalf("sample %d = %+v, want %+v", i, got[i], part[i])
+		}
+	}
+}
+
+// TestMergeSamplesRandom fuzzes against the sort-based reference with
+// uneven part sizes and heavy duplicate done values (tie-break coverage).
+func TestMergeSamplesRandom(t *testing.T) {
+	rng := stats.NewRNG(99)
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + int(rng.Uint64()%8)
+		parts := make([][]sample, k)
+		for w := range parts {
+			n := int(rng.Uint64() % 200)
+			p := make([]sample, n)
+			var done int64
+			for i := range p {
+				// Small increments force many equal done values across
+				// workers.
+				done += int64(rng.Uint64() % 3)
+				p[i] = sample{done: done, latency: int64(w*1000 + i)}
+			}
+			parts[w] = p
+		}
+		want := refMerge(parts)
+		got := mergeSamples(parts)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: len = %d, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: sample %d = %+v, want %+v (tie-break violated?)",
+					trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestMergeSamplesOrdered asserts the merged output is non-decreasing in
+// done — the invariant the Collector's timeline and band replay rely on.
+func TestMergeSamplesOrdered(t *testing.T) {
+	rng := stats.NewRNG(7)
+	parts := make([][]sample, 4)
+	for w := range parts {
+		p := make([]sample, 500)
+		var done int64
+		for i := range p {
+			done += int64(rng.Uint64() % 100)
+			p[i] = sample{done: done}
+		}
+		parts[w] = p
+	}
+	merged := mergeSamples(parts)
+	for i := 1; i < len(merged); i++ {
+		if merged[i].done < merged[i-1].done {
+			t.Fatalf("merged[%d].done=%d < merged[%d].done=%d",
+				i, merged[i].done, i-1, merged[i-1].done)
+		}
+	}
+}

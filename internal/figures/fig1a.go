@@ -30,6 +30,9 @@ type Scale struct {
 	// replays materialized inputs with its own seeded generators, so
 	// results are bit-identical at any setting.
 	Parallel int
+	// Batch is the runner's op-dispatch batch size (see core.Runner.Batch);
+	// virtual-clock results are byte-identical at any setting.
+	Batch int
 }
 
 // SmallScale keeps experiments under a second for tests.

@@ -36,7 +36,7 @@ type Fig1dResult struct {
 func kvEvaluator(scale Scale, seed uint64) (tuner.Evaluator, *int64) {
 	var lastWork int64
 	eval := func(k kv.Knobs) float64 {
-		runner := core.NewRunner()
+		runner := newRunner(scale)
 		scenario := core.Scenario{
 			Name:        "fig1d-eval",
 			Seed:        seed,

@@ -1,0 +1,172 @@
+package metrics
+
+// Collector is the one measurement pipeline shared by every execution
+// engine (virtual-clock runner, SQL runner, real-time driver, network
+// driver): it owns the Figure 1 quadruple — Timeline (1a), CumCurve (1b),
+// BandTracker (1c), and the overall latency Histogram — and implements the
+// paper's deferred SLA calibration exactly once.
+//
+// Completions enter through Record(done, latency). The timeline, curve,
+// and histogram account every completion immediately; band tracking is
+// deferred while the SLA threshold is unknown: the first CalibrateAfter
+// samples are buffered, the threshold is derived from their latency
+// distribution via CalibrateSLA, and the buffer is replayed into the
+// tracker so no completion is lost. A fixed SLA (Config.SLANs > 0) starts
+// band tracking on the first completion.
+//
+// Collector is not safe for concurrent use; engines with concurrent
+// workers merge per-worker samples into completion order first (see
+// internal/driver).
+type Collector struct {
+	cfg       CollectorConfig
+	timeline  *Timeline
+	cum       *CumCurve
+	latency   *Histogram
+	bands     *BandTracker
+	sla       int64
+	completed int64
+	pending   []pendingSample
+}
+
+// pendingSample is a completion parked while the SLA is uncalibrated.
+type pendingSample struct{ t, lat int64 }
+
+// CollectorConfig configures a Collector. IntervalNs is required; the
+// remaining fields default to the paper's calibration rule (first 1000
+// samples, 20x their median, 1ms fallback when there are no samples).
+type CollectorConfig struct {
+	// IntervalNs is the timeline/band reporting interval width.
+	IntervalNs int64
+	// SLANs fixes the SLA threshold; 0 defers to calibration.
+	SLANs int64
+	// CalibrateAfter is how many completions are buffered before the SLA
+	// is calibrated from their latencies (default 1000).
+	CalibrateAfter int
+	// CalibrateQuantile and CalibrateHeadroom parameterize CalibrateSLA
+	// (defaults 0.5 and 20: 20x the median).
+	CalibrateQuantile float64
+	CalibrateHeadroom float64
+}
+
+// NewCollector returns a collector for the given configuration.
+func NewCollector(cfg CollectorConfig) *Collector {
+	if cfg.IntervalNs <= 0 {
+		panic("metrics: NewCollector with non-positive interval")
+	}
+	if cfg.CalibrateAfter <= 0 {
+		cfg.CalibrateAfter = 1000
+	}
+	if cfg.CalibrateQuantile <= 0 {
+		cfg.CalibrateQuantile = 0.5
+	}
+	if cfg.CalibrateHeadroom <= 0 {
+		cfg.CalibrateHeadroom = 20
+	}
+	return &Collector{
+		cfg:      cfg,
+		timeline: NewTimeline(cfg.IntervalNs),
+		cum:      &CumCurve{},
+		latency:  NewHistogram(),
+		sla:      cfg.SLANs,
+	}
+}
+
+// Record accounts one completed operation at time done (ns since run
+// start) with the given latency. Completions must arrive in non-decreasing
+// done order (the CumCurve contract).
+func (c *Collector) Record(done, latency int64) {
+	c.completed++
+	c.cum.Add(done, c.completed)
+	c.timeline.Record(done, latency)
+	c.latency.Record(latency)
+	if c.bands != nil {
+		c.bands.Record(done, latency)
+		return
+	}
+	c.pending = append(c.pending, pendingSample{done, latency})
+	if c.sla == 0 && len(c.pending) == c.cfg.CalibrateAfter {
+		c.sla = c.calibrateFromPending()
+	}
+	if c.sla > 0 {
+		c.startBands()
+	}
+}
+
+// Calibrate forces SLA calibration from the samples buffered so far and
+// starts band tracking, replaying the buffer. Engines call it at natural
+// boundaries (the virtual runner at the end of phase 0) when the run may
+// be shorter than the calibration window. It is a no-op once band tracking
+// has started.
+func (c *Collector) Calibrate() {
+	if c.bands != nil {
+		return
+	}
+	if c.sla == 0 {
+		c.sla = c.calibrateFromPending()
+	}
+	c.startBands()
+}
+
+// calibrateFromPending derives the SLA threshold from the buffered
+// completions per the paper's baseline-statistics rule, falling back to
+// 1ms when there are none.
+func (c *Collector) calibrateFromPending() int64 {
+	if len(c.pending) == 0 {
+		return 1_000_000 // 1ms fallback
+	}
+	h := NewHistogram()
+	for _, p := range c.pending {
+		h.Record(p.lat)
+	}
+	return CalibrateSLA(h, c.cfg.CalibrateQuantile, c.cfg.CalibrateHeadroom)
+}
+
+// startBands creates the band tracker and replays the parked completions.
+func (c *Collector) startBands() {
+	c.bands = NewBandTracker(c.sla, c.cfg.IntervalNs)
+	for _, p := range c.pending {
+		c.bands.Record(p.t, p.lat)
+	}
+	c.pending = nil
+}
+
+// SLA returns the current SLA threshold (0 while uncalibrated).
+func (c *Collector) SLA() int64 { return c.sla }
+
+// Completed returns the number of recorded completions.
+func (c *Collector) Completed() int64 { return c.completed }
+
+// Snapshot finalizes the pipeline — calibrating and replaying if band
+// tracking has not started — and returns the metric quadruple. Further
+// Records keep feeding the same underlying structures, so engines
+// snapshot once, when the run is over.
+func (c *Collector) Snapshot() Snapshot {
+	c.Calibrate()
+	return Snapshot{
+		Timeline:   c.timeline,
+		Cumulative: c.cum,
+		Bands:      c.bands,
+		Latency:    c.latency,
+		SLANs:      c.sla,
+		Completed:  c.completed,
+	}
+}
+
+// Snapshot is the finalized measurement quadruple plus the SLA threshold
+// and completion count — the common core of every engine's result type
+// (core.Result, core.SQLRunResult, driver.Result), consumed by
+// report.ResultView.
+type Snapshot struct {
+	// Timeline backs Figure 1a: per-interval throughput and latency.
+	Timeline *Timeline
+	// Cumulative backs Figure 1b: completions over time.
+	Cumulative *CumCurve
+	// Bands backs Figure 1c: SLA latency bands.
+	Bands *BandTracker
+	// Latency is the overall latency histogram.
+	Latency *Histogram
+	// SLANs is the SLA threshold used (fixed or calibrated).
+	SLANs int64
+	// Completed is the number of operations accounted.
+	Completed int64
+}

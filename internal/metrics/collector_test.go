@@ -1,0 +1,117 @@
+package metrics
+
+import "testing"
+
+// TestCollectorFixedSLA: with a fixed threshold, band tracking starts on
+// the first completion and nothing is buffered.
+func TestCollectorFixedSLA(t *testing.T) {
+	c := NewCollector(CollectorConfig{IntervalNs: 1e6, SLANs: 500})
+	c.Record(10, 400)
+	c.Record(20, 600)
+	s := c.Snapshot()
+	if s.SLANs != 500 {
+		t.Fatalf("SLA = %d, want 500", s.SLANs)
+	}
+	if s.Completed != 2 || s.Cumulative.Total() != 2 || s.Latency.Count() != 2 {
+		t.Fatalf("completed=%d cum=%d hist=%d, want 2 each",
+			s.Completed, s.Cumulative.Total(), s.Latency.Count())
+	}
+	var bandTotal, violated int64
+	for _, iv := range s.Bands.Intervals() {
+		bandTotal += iv.Completed
+		violated += iv.Violated
+	}
+	if bandTotal != 2 || violated != 1 {
+		t.Fatalf("bands saw %d completions (%d violated), want 2 (1)", bandTotal, violated)
+	}
+}
+
+// TestCollectorDeferredCalibration: the threshold is derived from the
+// first CalibrateAfter samples and the buffer is replayed losslessly.
+func TestCollectorDeferredCalibration(t *testing.T) {
+	c := NewCollector(CollectorConfig{IntervalNs: 1e6, CalibrateAfter: 4})
+	lats := []int64{100, 100, 100, 100, 9000}
+	for i, l := range lats {
+		c.Record(int64(i+1)*10, l)
+		if i < 3 && c.SLA() != 0 {
+			t.Fatalf("SLA calibrated after %d samples", i+1)
+		}
+	}
+	s := c.Snapshot()
+	// CalibrateSLA(median=100, 0.5, 20) on the log-bucketed histogram.
+	want := CalibrateSLA(histOf(lats[:4]), 0.5, 20)
+	if s.SLANs != want {
+		t.Fatalf("SLA = %d, want %d", s.SLANs, want)
+	}
+	var bandTotal int64
+	for _, iv := range s.Bands.Intervals() {
+		bandTotal += iv.Completed
+	}
+	if bandTotal != int64(len(lats)) {
+		t.Fatalf("bands saw %d completions, want %d (buffer replayed)", bandTotal, len(lats))
+	}
+}
+
+// TestCollectorShortRun: Snapshot on a run shorter than the calibration
+// window calibrates from whatever arrived.
+func TestCollectorShortRun(t *testing.T) {
+	c := NewCollector(CollectorConfig{IntervalNs: 1e6})
+	c.Record(5, 200)
+	c.Record(6, 300)
+	s := c.Snapshot()
+	if s.SLANs <= 0 {
+		t.Fatalf("SLA = %d, want calibrated > 0", s.SLANs)
+	}
+	var bandTotal int64
+	for _, iv := range s.Bands.Intervals() {
+		bandTotal += iv.Completed
+	}
+	if bandTotal != 2 {
+		t.Fatalf("bands saw %d completions, want 2", bandTotal)
+	}
+}
+
+// TestCollectorEmpty: a run with zero completions still snapshots with the
+// 1ms fallback threshold.
+func TestCollectorEmpty(t *testing.T) {
+	s := NewCollector(CollectorConfig{IntervalNs: 1e6}).Snapshot()
+	if s.SLANs != 1_000_000 {
+		t.Fatalf("SLA = %d, want 1ms fallback", s.SLANs)
+	}
+	if s.Completed != 0 || len(s.Bands.Intervals()) != 0 {
+		t.Fatalf("empty snapshot has data")
+	}
+}
+
+// TestCollectorCalibrateIdempotent: explicit Calibrate at a phase boundary
+// then more records keep one tracker.
+func TestCollectorCalibrateIdempotent(t *testing.T) {
+	c := NewCollector(CollectorConfig{IntervalNs: 1e6, CalibrateAfter: 100})
+	c.Record(1, 50)
+	c.Calibrate()
+	sla := c.SLA()
+	if sla == 0 {
+		t.Fatal("Calibrate did not set SLA")
+	}
+	c.Calibrate() // no-op
+	c.Record(2, 60)
+	s := c.Snapshot()
+	if s.SLANs != sla {
+		t.Fatalf("SLA changed across Calibrate calls: %d -> %d", sla, s.SLANs)
+	}
+	var bandTotal int64
+	for _, iv := range s.Bands.Intervals() {
+		bandTotal += iv.Completed
+	}
+	if bandTotal != 2 {
+		t.Fatalf("bands saw %d completions, want 2", bandTotal)
+	}
+}
+
+func histOf(lats []int64) *Histogram {
+	h := NewHistogram()
+	for _, l := range lats {
+		h.Record(l)
+	}
+	return h
+}

@@ -64,10 +64,18 @@ func (c *deadlineConn) Write(p []byte) (int, error) {
 const (
 	reqSize  = 1 + 8 + 8 + 4
 	respSize = 1 + 4 + 8
+	// opBatchBegin announces a batch of n operations (n request frames
+	// follow; the server answers with n response frames and one flush) —
+	// the batched wire path that amortizes per-op flush latency.
+	opBatchBegin = 249
 	// opLoadBegin announces a bulk load of n pairs (key/value frames of
 	// 16 bytes each follow); opClose ends the session.
 	opLoadBegin = 250
 	opClose     = 255
+
+	// maxWireBatch bounds a batch frame count so a corrupt or malicious
+	// header cannot force an unbounded allocation server-side.
+	maxWireBatch = 1 << 16
 )
 
 // Server exposes a SUT factory over TCP. Each accepted connection gets a
@@ -131,8 +139,31 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// decodeOp decodes a request frame (after the opType byte has been
+// inspected) into an operation.
+func decodeOp(req []byte) workload.Op {
+	return workload.Op{
+		Type:      workload.OpType(req[0]),
+		Key:       binary.BigEndian.Uint64(req[1:9]),
+		Value:     binary.BigEndian.Uint64(req[9:17]),
+		ScanLimit: int(binary.BigEndian.Uint32(req[17:21])),
+	}
+}
+
+// encodeResult encodes an op result into a response frame.
+func encodeResult(resp []byte, res core.OpResult) {
+	if res.Found {
+		resp[0] = 1
+	} else {
+		resp[0] = 0
+	}
+	binary.BigEndian.PutUint32(resp[1:5], uint32(res.Visited))
+	binary.BigEndian.PutUint64(resp[5:13], uint64(res.Work))
+}
+
 func (s *Server) handle(raw net.Conn) {
 	sut := s.factory()
+	bsut := core.AsBatch(sut)
 	conn := &deadlineConn{Conn: raw, opts: s.opts}
 	r := bufio.NewReaderSize(conn, 1<<16)
 	w := bufio.NewWriterSize(conn, 1<<16)
@@ -147,6 +178,34 @@ func (s *Server) handle(raw net.Conn) {
 		case opClose:
 			w.Flush()
 			return
+		case opBatchBegin:
+			n := binary.BigEndian.Uint64(req[1:9])
+			if n == 0 || n > maxWireBatch {
+				return
+			}
+			ops := make([]workload.Op, n)
+			for i := uint64(0); i < n; i++ {
+				if _, err := io.ReadFull(r, req); err != nil {
+					return
+				}
+				ops[i] = decodeOp(req)
+			}
+			results := make([]core.OpResult, n)
+			// Native batch implementations (the index adapters' sorted
+			// lookup runs) kick in here; plain SUTs fall back to
+			// sequential dispatch.
+			bsut.DoBatch(ops, results)
+			for _, res := range results {
+				encodeResult(resp, res)
+				if _, err := w.Write(resp); err != nil {
+					return
+				}
+			}
+			// One flush per batch: this is the wire-level amortization
+			// the batched path exists for.
+			if err := w.Flush(); err != nil {
+				return
+			}
 		case opLoadBegin:
 			n := binary.BigEndian.Uint64(req[1:9])
 			keys := make([]uint64, n)
@@ -170,20 +229,8 @@ func (s *Server) handle(raw net.Conn) {
 			}
 			w.Flush()
 		default:
-			op := workload.Op{
-				Type:      workload.OpType(opType),
-				Key:       binary.BigEndian.Uint64(req[1:9]),
-				Value:     binary.BigEndian.Uint64(req[9:17]),
-				ScanLimit: int(binary.BigEndian.Uint32(req[17:21])),
-			}
-			res := sut.Do(op)
-			if res.Found {
-				resp[0] = 1
-			} else {
-				resp[0] = 0
-			}
-			binary.BigEndian.PutUint32(resp[1:5], uint32(res.Visited))
-			binary.BigEndian.PutUint64(resp[5:13], uint64(res.Work))
+			res := sut.Do(decodeOp(req))
+			encodeResult(resp, res)
 			if _, err := w.Write(resp); err != nil {
 				return
 			}
@@ -210,6 +257,9 @@ type Client struct {
 	err  error
 	req  [reqSize]byte
 	resp [respSize]byte
+	// scratch buffers batch frames so a whole batch goes out in one
+	// write and comes back in one read loop (DoBatch).
+	scratch []byte
 }
 
 // Dial connects to a netdriver server with no I/O deadlines.
@@ -315,4 +365,68 @@ func (c *Client) DoErr(op workload.Op) (core.OpResult, error) {
 	}, nil
 }
 
+// DoBatch implements core.BatchSUT with batched wire frames: one batch
+// header plus len(ops) request frames leave in a single write, and the
+// server answers with len(ops) response frames after one flush — one
+// network round trip per batch instead of one per operation. Oversized
+// batches are split to the protocol's frame-count bound.
+func (c *Client) DoBatch(ops []workload.Op, out []core.OpResult) {
+	for len(ops) > maxWireBatch {
+		c.doBatchChunk(ops[:maxWireBatch], out[:maxWireBatch])
+		ops, out = ops[maxWireBatch:], out[maxWireBatch:]
+	}
+	c.doBatchChunk(ops, out)
+}
+
+func (c *Client) doBatchChunk(ops []workload.Op, out []core.OpResult) {
+	if len(ops) == 0 {
+		return
+	}
+	if c.err != nil {
+		for i := range out[:len(ops)] {
+			out[i] = core.OpResult{}
+		}
+		return
+	}
+	need := reqSize * (1 + len(ops))
+	if cap(c.scratch) < need {
+		c.scratch = make([]byte, need)
+	}
+	buf := c.scratch[:0]
+	var hdr [reqSize]byte
+	hdr[0] = opBatchBegin
+	binary.BigEndian.PutUint64(hdr[1:9], uint64(len(ops)))
+	buf = append(buf, hdr[:]...)
+	for _, op := range ops {
+		var f [reqSize]byte
+		f[0] = byte(op.Type)
+		binary.BigEndian.PutUint64(f[1:9], op.Key)
+		binary.BigEndian.PutUint64(f[9:17], op.Value)
+		binary.BigEndian.PutUint32(f[17:21], uint32(op.ScanLimit))
+		buf = append(buf, f[:]...)
+	}
+	if _, err := c.conn.Write(buf); err != nil {
+		c.fail("batch request", err)
+		for i := range out[:len(ops)] {
+			out[i] = core.OpResult{}
+		}
+		return
+	}
+	for i := range ops {
+		if _, err := io.ReadFull(c.r, c.resp[:]); err != nil {
+			c.fail("batch response", err)
+			for ; i < len(ops); i++ {
+				out[i] = core.OpResult{}
+			}
+			return
+		}
+		out[i] = core.OpResult{
+			Found:   c.resp[0] == 1,
+			Visited: int(binary.BigEndian.Uint32(c.resp[1:5])),
+			Work:    int64(binary.BigEndian.Uint64(c.resp[5:13])),
+		}
+	}
+}
+
 var _ core.SUT = (*Client)(nil)
+var _ core.BatchSUT = (*Client)(nil)

@@ -251,3 +251,118 @@ func TestDeadlinesDontBreakHealthySessions(t *testing.T) {
 		}
 	}
 }
+
+// TestBatchWire drives a mixed batch through the batched frame path and
+// checks the results match per-op dispatch against an identical local SUT.
+func TestBatchWire(t *testing.T) {
+	srv := startServer(t)
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	keys := []uint64{10, 20, 30, 40, 50}
+	vals := []uint64{1, 2, 3, 4, 5}
+	c.Load(keys, vals)
+	local := core.NewBTreeSUT()
+	local.Load(keys, vals)
+
+	ops := []workload.Op{
+		{Type: workload.Get, Key: 30},
+		{Type: workload.Get, Key: 99},
+		{Type: workload.Put, Key: 60, Value: 6},
+		{Type: workload.Get, Key: 60},
+		{Type: workload.Delete, Key: 10},
+		{Type: workload.Scan, Key: 0, ScanLimit: 100},
+		{Type: workload.Get, Key: 50},
+		{Type: workload.Get, Key: 20},
+	}
+	got := make([]core.OpResult, len(ops))
+	c.DoBatch(ops, got)
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]core.OpResult, len(ops))
+	core.AsBatch(local).DoBatch(ops, want)
+	for i := range ops {
+		if got[i] != want[i] {
+			t.Fatalf("op %d (%v): remote %+v != local %+v", i, ops[i], got[i], want[i])
+		}
+	}
+}
+
+// TestBatchWireLarge pushes a batch bigger than the write buffer to make
+// sure framing survives segmentation, and follows it with per-op traffic
+// on the same session.
+func TestBatchWireLarge(t *testing.T) {
+	srv := startServer(t)
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const n = 8192
+	keys := make([]uint64, n)
+	vals := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(i) * 3
+		vals[i] = uint64(i)
+	}
+	c.Load(keys, vals)
+
+	ops := make([]workload.Op, n)
+	for i := range ops {
+		ops[i] = workload.Op{Type: workload.Get, Key: uint64((i * 7) % (n * 3))}
+	}
+	out := make([]core.OpResult, n)
+	c.DoBatch(ops, out)
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for i, r := range out {
+		if r.Found != (ops[i].Key%3 == 0) {
+			t.Fatalf("op %d key %d: Found=%v", i, ops[i].Key, r.Found)
+		}
+		if r.Found {
+			found++
+		}
+	}
+	if found == 0 {
+		t.Fatal("no batch op found anything")
+	}
+	// The session keeps working per-op after a batch.
+	if res := c.Do(workload.Op{Type: workload.Get, Key: 3}); !res.Found {
+		t.Fatal("per-op Get after batch missed")
+	}
+}
+
+// TestBatchWireErrorLatch: batch dispatch against a dead server latches the
+// session error and zeroes results instead of hanging.
+func TestBatchWireErrorLatch(t *testing.T) {
+	srv, err := ServeOptions("127.0.0.1:0", core.NewBTreeSUT,
+		Options{ReadTimeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := DialOptions(srv.Addr(), Options{ReadTimeout: 200 * time.Millisecond, WriteTimeout: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv.Close()
+
+	ops := []workload.Op{{Type: workload.Get, Key: 1}, {Type: workload.Get, Key: 2}}
+	out := []core.OpResult{{Found: true, Work: 99}, {Found: true, Work: 99}}
+	c.DoBatch(ops, out)
+	if c.Err() == nil {
+		t.Fatal("no latched error after server close")
+	}
+	for i, r := range out {
+		if r != (core.OpResult{}) {
+			t.Fatalf("result %d not zeroed after error: %+v", i, r)
+		}
+	}
+}

@@ -78,28 +78,36 @@ type ResultView struct {
 	Retrains         int   `json:"retrains"`
 }
 
+// viewFromSnapshot digests the engine-shared measurement quadruple — the
+// fields every execution mode produces through metrics.Collector — into
+// the common part of a ResultView.
+func viewFromSnapshot(s metrics.Snapshot) ResultView {
+	v := ResultView{
+		Completed: s.Completed,
+		Latency:   SummarizeLatency(s.Latency),
+		SLANs:     s.SLANs,
+	}
+	if s.Bands != nil {
+		v.ViolationRate = s.Bands.ViolationRate()
+	}
+	if s.Cumulative != nil {
+		v.AreaVsIdeal = s.Cumulative.AreaVsIdeal()
+	}
+	return v
+}
+
 // NewResultView digests a core.Result into its JSON view.
 func NewResultView(r *core.Result) ResultView {
-	v := ResultView{
-		Scenario:         r.Scenario,
-		SUT:              r.SUT,
-		Completed:        r.Completed,
-		DurationNs:       r.DurationNs,
-		Throughput:       r.Throughput(),
-		Latency:          SummarizeLatency(r.Latency),
-		SLANs:            r.SLANs,
-		OfflineTrainWork: r.OfflineTrainWork,
-		OnlineTrainWork:  r.OnlineTrainWork,
-		Models:           r.Models,
-		MaxModels:        r.MaxModels,
-		Retrains:         r.Retrains,
-	}
-	if r.Bands != nil {
-		v.ViolationRate = r.Bands.ViolationRate()
-	}
-	if r.Cumulative != nil {
-		v.AreaVsIdeal = r.Cumulative.AreaVsIdeal()
-	}
+	v := viewFromSnapshot(r.Snapshot)
+	v.Scenario = r.Scenario
+	v.SUT = r.SUT
+	v.DurationNs = r.DurationNs
+	v.Throughput = r.Throughput()
+	v.OfflineTrainWork = r.OfflineTrainWork
+	v.OnlineTrainWork = r.OnlineTrainWork
+	v.Models = r.Models
+	v.MaxModels = r.MaxModels
+	v.Retrains = r.Retrains
 	for _, p := range r.Phases {
 		v.Phases = append(v.Phases, PhaseView{
 			Name:        p.Name,
