@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race race check cover bench bench-smoke figures examples clean
+.PHONY: all build vet test test-race race check cover bench bench-smoke bench-baseline bench-check figures examples clean
 
 all: check
 
@@ -34,11 +34,24 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
 
-# bench-smoke runs every benchmark exactly once with no unit tests — a
-# cheap CI guard that the bench harnesses (including the batched-dispatch
-# micro-bench) still build and complete.
+# bench-smoke runs every benchmark with no unit tests — a cheap CI guard
+# that the bench harnesses (including the batched-dispatch micro-bench)
+# still build and complete. Three single-iteration shots per benchmark are
+# teed through benchguard (which keeps the best of the three) into
+# BENCH_smoke.json for the regression gate.
 bench-smoke:
-	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+	$(GO) test -bench=. -benchtime=1x -count=3 -run='^$$' ./... | $(GO) run ./cmd/benchguard -emit BENCH_smoke.json
+
+# bench-baseline promotes the latest smoke emission to the committed
+# baseline. Rerun (and commit the result) when the benchmark set changes
+# or a deliberate perf change moves the needle.
+bench-baseline: bench-smoke
+	cp BENCH_smoke.json BENCH_baseline.json
+
+# bench-check fails when any heavyweight benchmark regressed more than
+# 25% in ns/op against the committed baseline.
+bench-check: bench-smoke
+	$(GO) run ./cmd/benchguard -compare -max-regress 0.25
 
 # Regenerate every figure, lesson ablation, and extension experiment.
 figures:
@@ -57,7 +70,8 @@ examples:
 	$(GO) run ./examples/tuningcost
 	$(GO) run ./examples/holdout
 	$(GO) run ./examples/synthesize
+	$(GO) run ./examples/chaosdrill
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt
+	rm -f cover.out test_output.txt bench_output.txt BENCH_smoke.json
 	rm -rf out/

@@ -1,0 +1,217 @@
+// Command benchguard turns `go test -bench` output into a committed
+// baseline and fails CI when a benchmark regresses past a threshold.
+//
+// Emit mode tees bench output from stdin (so the CI log still shows it)
+// and writes the parsed series as deterministic JSON; with -count=N the
+// fastest of the N shots is kept, taming single-iteration noise:
+//
+//	go test -bench=. -benchtime=1x -count=3 -run='^$' ./... | benchguard -emit BENCH_smoke.json
+//
+// Compare mode checks a fresh emission against the committed baseline and
+// exits non-zero on any ns/op regression beyond -max-regress:
+//
+//	benchguard -compare -baseline BENCH_baseline.json -current BENCH_smoke.json
+//
+// Only benchmarks present in both files are compared, so adding or
+// removing a benchmark never breaks the gate — regenerate the baseline
+// with `make bench-baseline` when the set changes. Benchmarks faster than
+// -min-ns in the baseline are skipped: single-iteration smoke timings of
+// micro-benches are noise, the guard is for the heavyweight figure
+// harnesses.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark measurement.
+type Entry struct {
+	NsPerOp float64 `json:"ns_per_op"`
+	Iters   int64   `json:"iters"`
+}
+
+// File is the emitted JSON shape: benchmark key -> measurement, where the
+// key is "<package>.<name>" with the GOMAXPROCS suffix stripped.
+type File struct {
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		emit       = flag.String("emit", "", "parse `go test -bench` output from stdin (teeing it to stdout) and write the series to this file")
+		compare    = flag.Bool("compare", false, "compare -current against -baseline and exit 1 on regression")
+		baseline   = flag.String("baseline", "BENCH_baseline.json", "committed baseline file (compare mode)")
+		current    = flag.String("current", "BENCH_smoke.json", "freshly emitted file (compare mode)")
+		maxRegress = flag.Float64("max-regress", 0.25, "maximum allowed ns/op increase as a fraction of the baseline")
+		minNs      = flag.Float64("min-ns", 1e6, "ignore benchmarks whose baseline ns/op is below this (single-shot noise)")
+	)
+	flag.Parse()
+
+	switch {
+	case *emit != "":
+		if err := emitFile(os.Stdin, os.Stdout, *emit); err != nil {
+			fmt.Fprintln(os.Stderr, "benchguard:", err)
+			os.Exit(2)
+		}
+	case *compare:
+		regressions, err := compareFiles(*baseline, *current, *maxRegress, *minNs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchguard:", err)
+			os.Exit(2)
+		}
+		for _, r := range regressions {
+			fmt.Println(r)
+		}
+		if len(regressions) > 0 {
+			fmt.Printf("benchguard: %d benchmark(s) regressed more than %.0f%%\n",
+				len(regressions), *maxRegress*100)
+			os.Exit(1)
+		}
+		fmt.Printf("benchguard: no regressions beyond %.0f%%\n", *maxRegress*100)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// emitFile tees r to echo while parsing bench lines, then writes the
+// collected series to path as deterministic (sorted-key) JSON.
+func emitFile(r io.Reader, echo io.Writer, path string) error {
+	f, err := parseBench(r, echo)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(f, "", "  ") // map keys marshal sorted
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(echo, "benchguard: wrote %d benchmark(s) to %s\n", len(f.Benchmarks), path)
+	return nil
+}
+
+// parseBench scans `go test -bench` output. "pkg:" lines set the package
+// context; "Benchmark..." lines yield entries keyed by package and name.
+func parseBench(r io.Reader, echo io.Writer) (File, error) {
+	out := File{Benchmarks: map[string]Entry{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	pkg := ""
+	for sc.Scan() {
+		line := sc.Text()
+		if echo != nil {
+			fmt.Fprintln(echo, line)
+		}
+		if strings.HasPrefix(line, "pkg: ") {
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg: "))
+			continue
+		}
+		name, e, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		key := name
+		if pkg != "" {
+			key = pkg + "." + name
+		}
+		// With -count=N the same benchmark appears N times; keep the
+		// fastest run — best-of-N is far less noisy than any single shot.
+		if prev, ok := out.Benchmarks[key]; !ok || e.NsPerOp < prev.NsPerOp {
+			out.Benchmarks[key] = e
+		}
+	}
+	return out, sc.Err()
+}
+
+// parseBenchLine parses one "BenchmarkX-8  10  123 ns/op ..." line. The
+// trailing -N GOMAXPROCS suffix is stripped so the key is stable across
+// machines.
+func parseBenchLine(line string) (string, Entry, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return "", Entry{}, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return "", Entry{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", Entry{}, false
+	}
+	// Find the "ns/op" unit; its value is the preceding field.
+	for i := 3; i < len(fields); i++ {
+		if fields[i] != "ns/op" {
+			continue
+		}
+		ns, err := strconv.ParseFloat(fields[i-1], 64)
+		if err != nil {
+			return "", Entry{}, false
+		}
+		return name, Entry{NsPerOp: ns, Iters: iters}, true
+	}
+	return "", Entry{}, false
+}
+
+// compareFiles returns one line per benchmark that regressed beyond
+// maxRegress, comparing only keys present in both files and only those
+// with a baseline of at least minNs.
+func compareFiles(basePath, curPath string, maxRegress, minNs float64) ([]string, error) {
+	base, err := readFile(basePath)
+	if err != nil {
+		return nil, err
+	}
+	cur, err := readFile(curPath)
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]string, 0, len(base.Benchmarks))
+	for k := range base.Benchmarks {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	var regressions []string
+	for _, k := range keys {
+		b := base.Benchmarks[k]
+		c, ok := cur.Benchmarks[k]
+		if !ok || b.NsPerOp < minNs || b.NsPerOp <= 0 {
+			continue
+		}
+		ratio := c.NsPerOp / b.NsPerOp
+		if ratio > 1+maxRegress {
+			regressions = append(regressions, fmt.Sprintf(
+				"REGRESSION %s: %.0f ns/op -> %.0f ns/op (+%.0f%%)",
+				k, b.NsPerOp, c.NsPerOp, (ratio-1)*100))
+		}
+	}
+	return regressions, nil
+}
+
+func readFile(path string) (File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return File{}, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return File{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro/internal/core
+BenchmarkRunner-8   	       1	 5000000 ns/op	  1024 B/op	      10 allocs/op
+BenchmarkFast-16    	 1000000	     1.5 ns/op
+PASS
+ok  	repro/internal/core	0.5s
+pkg: repro/internal/figures
+BenchmarkFig1a      	       1	 9000000 ns/op
+PASS
+ok  	repro/internal/figures	1.2s
+`
+
+func TestParseBench(t *testing.T) {
+	var echo bytes.Buffer
+	f, err := parseBench(strings.NewReader(sampleOutput), &echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if echo.String() != sampleOutput {
+		t.Fatal("emit mode did not tee its input verbatim")
+	}
+	want := map[string]Entry{
+		"repro/internal/core.BenchmarkRunner":   {NsPerOp: 5e6, Iters: 1},
+		"repro/internal/core.BenchmarkFast":     {NsPerOp: 1.5, Iters: 1000000},
+		"repro/internal/figures.BenchmarkFig1a": {NsPerOp: 9e6, Iters: 1},
+	}
+	if len(f.Benchmarks) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %+v", len(f.Benchmarks), len(want), f.Benchmarks)
+	}
+	for k, w := range want {
+		if got := f.Benchmarks[k]; got != w {
+			t.Fatalf("%s = %+v, want %+v", k, got, w)
+		}
+	}
+}
+
+func TestParseBenchKeepsBestOfN(t *testing.T) {
+	in := `pkg: p
+BenchmarkX-8   	       1	 3000000 ns/op
+BenchmarkX-8   	       1	 1000000 ns/op
+BenchmarkX-8   	       1	 2000000 ns/op
+`
+	f, err := parseBench(strings.NewReader(in), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Benchmarks["p.BenchmarkX"].NsPerOp; got != 1e6 {
+		t.Fatalf("best-of-3 = %v ns/op, want the 1e6 minimum", got)
+	}
+}
+
+func TestParseBenchLineRejects(t *testing.T) {
+	for _, line := range []string{
+		"PASS",
+		"ok  	repro/internal/core	0.5s",
+		"Benchmark",                     // no fields
+		"BenchmarkX-8 notanint 1 ns/op", // bad iter count
+		"BenchmarkX-8 1 2 MB/s",         // no ns/op unit
+	} {
+		if _, _, ok := parseBenchLine(line); ok {
+			t.Errorf("parseBenchLine(%q) accepted junk", line)
+		}
+	}
+}
+
+func writeBench(t *testing.T, dir, name string, entries map[string]Entry) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	data, err := json.Marshal(File{Benchmarks: entries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompare(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", map[string]Entry{
+		"pkg.BenchmarkStable":    {NsPerOp: 10e6, Iters: 1},
+		"pkg.BenchmarkRegressed": {NsPerOp: 10e6, Iters: 1},
+		"pkg.BenchmarkTiny":      {NsPerOp: 100, Iters: 1}, // under min-ns: ignored
+		"pkg.BenchmarkRemoved":   {NsPerOp: 10e6, Iters: 1},
+	})
+	cur := writeBench(t, dir, "cur.json", map[string]Entry{
+		"pkg.BenchmarkStable":    {NsPerOp: 11e6, Iters: 1},  // +10%: fine
+		"pkg.BenchmarkRegressed": {NsPerOp: 14e6, Iters: 1},  // +40%: fails
+		"pkg.BenchmarkTiny":      {NsPerOp: 10000, Iters: 1}, // 100x, but tiny
+		"pkg.BenchmarkNew":       {NsPerOp: 1e9, Iters: 1},   // not in baseline
+	})
+
+	regs, err := compareFiles(base, cur, 0.25, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %v, want exactly the +40%% one", regs)
+	}
+	if !strings.Contains(regs[0], "pkg.BenchmarkRegressed") {
+		t.Fatalf("wrong benchmark flagged: %s", regs[0])
+	}
+
+	// Within threshold: clean.
+	regs, err = compareFiles(base, cur, 0.5, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("regressions at 50%% threshold: %v", regs)
+	}
+}
+
+func TestEmitDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	var sink bytes.Buffer
+	if err := emitFile(strings.NewReader(sampleOutput), &sink, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := emitFile(strings.NewReader(sampleOutput), &sink, b); err != nil {
+		t.Fatal(err)
+	}
+	da, _ := os.ReadFile(a)
+	db, _ := os.ReadFile(b)
+	if !bytes.Equal(da, db) {
+		t.Fatal("same input emitted different JSON")
+	}
+	if !json.Valid(da) {
+		t.Fatal("emitted file is not valid JSON")
+	}
+}

@@ -43,6 +43,7 @@ func panels() []panel {
 		{"fig1b", runFig1b},
 		{"fig1c", runFig1c},
 		{"fig1d", runFig1d},
+		{"fig1e", runFig1e},
 		{"lessons", runLessons},
 		{"optdrift", runOptDrift},
 		{"ablations", runAblations},
@@ -55,10 +56,11 @@ func main() {
 	var (
 		scaleName = flag.String("scale", "small", "experiment scale: small or full")
 		seed      = flag.Uint64("seed", 42, "base random seed")
-		only      = flag.String("only", "", "comma-separated subset: fig1a,fig1aw,fig1b,fig1c,fig1d,lessons,optdrift,ablations,cache,sched")
+		only      = flag.String("only", "", "comma-separated subset: fig1a,fig1aw,fig1b,fig1c,fig1d,fig1e,lessons,optdrift,ablations,cache,sched")
 		csvDir    = flag.String("csv", "", "directory for CSV series")
 		parallelN = flag.Int("parallel", 0, "max concurrent experiment runs (0 = GOMAXPROCS, 1 = serial); output is byte-identical at any setting")
 		batchN    = flag.Int("batch", 0, "op-dispatch batch size for the virtual runner (0/1 = per-op); output is byte-identical at any setting")
+		faults    = flag.String("faults", "", "fig1e fault plan override, e.g. 'slow@2ms-4ms:factor=8;crash@6ms' (default: derived from each SUT's baseline run)")
 	)
 	flag.Parse()
 
@@ -73,6 +75,7 @@ func main() {
 	}
 	scale.Parallel = *parallelN
 	scale.Batch = *batchN
+	scale.Faults = *faults
 
 	want := map[string]bool{}
 	if *only == "" {
@@ -287,6 +290,40 @@ func runFig1d(w io.Writer, scale figures.Scale, seed uint64, csvDir string) erro
 	if csvDir != "" {
 		if err := writeCSV(filepath.Join(csvDir, "fig1d.csv"), func(f *os.File) {
 			report.CostCSV(f, res.LearnedCPU, res.Traditional)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runFig1e(w io.Writer, scale figures.Scale, seed uint64, csvDir string) error {
+	section(w, "Figure 1e — robustness: degradation and recovery under injected faults")
+	res, err := figures.Fig1e(scale, seed, scale.Faults)
+	if err != nil {
+		return err
+	}
+	for _, sut := range report.SortedKeys(res.Results) {
+		r := res.Results[sut]
+		rec := res.Recovery[sut]
+		rep := res.Reports[sut]
+		fmt.Fprintf(w, "%s under %q (baseline %.3fms clean run):\n",
+			sut, res.Specs[sut], float64(res.BaselineNs[sut])/1e6)
+		report.RobustnessPanel(w, "  robustness", r.Snapshot, rec)
+		fmt.Fprintf(w, "  fault ledger        slowed %d, failed %d, crashes %d (retrain work %d)\n\n",
+			rep.SlowedOps, rep.FailedOps, rep.Crashes, rep.CrashRetrainWork)
+	}
+	if csvDir != "" {
+		if err := writeCSV(filepath.Join(csvDir, "fig1e.csv"), func(f *os.File) {
+			fmt.Fprintln(f, "sut,availability,failed_ops,error_budget_burn,baseline_violation_rate,peak_violation_rate,time_to_recover_ns,recovered,crashes,crash_retrain_work")
+			for _, sut := range report.SortedKeys(res.Results) {
+				rec := res.Recovery[sut]
+				rep := res.Reports[sut]
+				fmt.Fprintf(f, "%s,%.6f,%d,%.4f,%.6f,%.6f,%d,%t,%d,%d\n",
+					sut, rec.Availability, rec.FailedOps, rec.ErrorBudgetBurn,
+					rec.BaselineViolationRate, rec.PeakViolationRate,
+					rec.TimeToRecoverNs, rec.Recovered, rep.Crashes, rep.CrashRetrainWork)
+			}
 		}); err != nil {
 			return err
 		}

@@ -9,24 +9,36 @@
 //	lsbench -config scenario.json [-suts btree,rmi,alex,hash,kvstore] [-csv dir]
 //	lsbench -example            # print a starter config and exit
 //	lsbench -remote host:port   # drive a remote SUT (netdriver server)
+//	lsbench ... -faults spec    # inject a deterministic fault plan
 //
 // With -remote the scenario runs in real time over TCP via the concurrent
 // driver; otherwise it runs on the deterministic virtual clock.
+//
+// -faults takes a fault.ParseSpec schedule, e.g.
+// "slow@10ms-30ms:factor=8;crash@50ms;error@70ms-80ms". On the virtual
+// clock the windows are in virtual time and results are byte-identical
+// per (plan, seed, batch); with -remote they are wall time from run start
+// (wire drop/delay windows apply, and the client retries with capped
+// seeded backoff). The report gains a robustness panel per SUT.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/driver"
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/netdriver"
 	"repro/internal/report"
+	"repro/internal/sim"
 )
 
 const exampleConfig = `{
@@ -63,6 +75,7 @@ func main() {
 		remote     = flag.String("remote", "", "address of a lsbenchd netdriver server (real-time mode)")
 		workers    = flag.Int("workers", 4, "driver workers in -remote mode")
 		batch      = flag.Int("batch", 0, "op-dispatch batch size (0/1 = per-op); virtual-clock results are byte-identical at any setting")
+		faults     = flag.String("faults", "", "deterministic fault plan (kind@start-end:params;... with kinds slow,error,crash,drop,delay,stall)")
 	)
 	flag.Parse()
 
@@ -78,9 +91,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	plan, err := fault.ParseSpec(*faults, scenario.Seed)
+	if err != nil {
+		fatal(err)
+	}
 
 	if *remote != "" {
-		runRemote(scenario, *remote, *workers, *batch)
+		runRemote(scenario, *remote, *workers, *batch, plan)
 		return
 	}
 
@@ -92,33 +109,82 @@ func main() {
 		"kvstore": core.NewKVSUTDefault,
 	}
 	var results []*core.Result
-	runner := core.NewRunner()
-	runner.Batch = *batch
+	var injectors []*fault.Injector
 	for _, name := range strings.Split(*suts, ",") {
 		name = strings.TrimSpace(name)
 		f, ok := factories[name]
 		if !ok {
 			fatal(fmt.Errorf("unknown SUT %q (have: btree,hash,rmi,alex,kvstore)", name))
 		}
+		// One runner (and injector) per SUT: the injector rides each
+		// run's own virtual clock via the WrapSUT hook.
+		runner := core.NewRunner()
+		runner.Batch = *batch
+		var inj *fault.Injector
+		if !plan.Empty() {
+			runner.WrapSUT = func(s core.SUT, clock sim.Clock) core.SUT {
+				inj = fault.NewInjector(plan, clock)
+				return fault.Wrap(s, inj)
+			}
+		}
 		res, err := runner.Run(scenario, f())
 		if err != nil {
 			fatal(err)
 		}
 		results = append(results, res)
+		injectors = append(injectors, inj)
 	}
 	printReport(results, *csvDir)
+	printRobustness(results, injectors, plan)
 }
 
-func runRemote(scenario core.Scenario, addr string, workers, batch int) {
+// printRobustness renders the Fig 1e robustness panel per SUT when a
+// fault plan was active.
+func printRobustness(results []*core.Result, injectors []*fault.Injector, plan fault.Plan) {
+	start, end, ok := plan.OpFaultSpan()
+	if !ok {
+		return
+	}
+	for i, r := range results {
+		report.RobustnessPanel(os.Stdout,
+			fmt.Sprintf("robustness — %s under %q (Fig 1e)", r.SUT, plan.String()),
+			r.Snapshot, r.Snapshot.Recovery(start, end, 0))
+		if inj := injectors[i]; inj != nil {
+			rep := inj.Report()
+			fmt.Printf("  fault ledger        slowed %d, failed %d, crashes %d (retrain work %d)\n",
+				rep.SlowedOps, rep.FailedOps, rep.Crashes, rep.CrashRetrainWork)
+		}
+		fmt.Println()
+	}
+}
+
+func runRemote(scenario core.Scenario, addr string, workers, batch int, plan fault.Plan) {
 	if len(scenario.Phases) != 1 {
 		fatal(fmt.Errorf("-remote mode supports single-phase scenarios"))
 	}
-	c, err := netdriver.Dial(addr)
+	opts := netdriver.Options{}
+	var inj *fault.Injector
+	if !plan.Empty() {
+		// Wall-clock injector from run start: wire windows perturb the
+		// client's frames, op windows act through the SUT middleware.
+		// Retries + deadlines make dropped frames survivable.
+		inj = fault.NewInjector(plan, nil)
+		opts.ReadTimeout = 250 * time.Millisecond
+		opts.WriteTimeout = 250 * time.Millisecond
+		opts.MaxRetries = 8
+		opts.RetrySeed = scenario.Seed
+		opts.WrapConn = func(c net.Conn) net.Conn { return fault.NewConn(c, inj) }
+	}
+	c, err := netdriver.DialOptions(addr, opts)
 	if err != nil {
 		fatal(err)
 	}
 	defer c.Close()
-	res, err := driver.Run(c, scenario.Phases[0].Workload,
+	var sut core.SUT = c
+	if inj != nil {
+		sut = fault.Wrap(c, inj)
+	}
+	res, err := driver.Run(sut, scenario.Phases[0].Workload,
 		scenario.InitialData, scenario.InitialSize, driver.Options{
 			Workers: workers,
 			Ops:     scenario.Phases[0].Ops,
@@ -138,6 +204,16 @@ func runRemote(scenario core.Scenario, addr string, workers, batch int) {
 	fmt.Printf("  latency: p50=%s p99=%s max=%s (SLA %s, %.2f%% violations)\n",
 		ns(res.Latency.Quantile(0.5)), ns(res.Latency.Quantile(0.99)),
 		ns(res.Latency.Max()), ns(res.SLANs), res.Bands.ViolationRate()*100)
+	if inj != nil {
+		if start, end, ok := plan.OpFaultSpan(); ok {
+			report.RobustnessPanel(os.Stdout,
+				fmt.Sprintf("robustness — remote under %q (Fig 1e)", plan.String()),
+				res.Snapshot, res.Snapshot.Recovery(start, end, 0))
+		}
+		rep := inj.Report()
+		fmt.Printf("  fault ledger        failed %d, wire drops %d, wire delays %d, client retries %d\n",
+			rep.FailedOps, rep.WireDrops, rep.WireDelays, c.Retries())
+	}
 }
 
 func printReport(results []*core.Result, csvDir string) {

@@ -91,10 +91,17 @@ type OpOutcomes struct {
 	NotFound int64
 	// WorkUnits is the sum of OpResult.Work across all operations.
 	WorkUnits int64
+	// Failed counts operations that completed as errors.
+	Failed int64
 }
 
 // Observe folds one operation's result into the tally.
 func (o *OpOutcomes) Observe(op workload.Op, r OpResult) {
+	if r.Failed {
+		o.Failed++
+		o.WorkUnits += r.Work
+		return
+	}
 	if r.Found {
 		o.Found++
 	} else if op.Type == workload.Get || op.Type == workload.Delete {

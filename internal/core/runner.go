@@ -18,7 +18,10 @@ type PhaseResult struct {
 	// StartNs/EndNs are virtual times bounding the phase.
 	StartNs, EndNs int64
 	Completed      int64
-	Latency        *metrics.Histogram
+	// Failed counts operations that completed as errors (injected faults);
+	// they occupy the server but are excluded from Completed and Latency.
+	Failed  int64
+	Latency *metrics.Histogram
 	// RetrainWork is the training work charged by a RetrainBefore window.
 	RetrainWork int64
 }
@@ -110,6 +113,11 @@ type Runner struct {
 	// result-equivalent to sequential Do, results are byte-identical at
 	// every batch size.
 	Batch int
+	// WrapSUT, when set, wraps the SUT after the run's virtual clock is
+	// created but before the initial load — the injection point for
+	// middleware that needs the run's own clock (fault.Wrap). A wrapper
+	// returning its argument unchanged leaves the run untouched.
+	WrapSUT func(sut SUT, clock sim.Clock) SUT
 }
 
 // NewRunner returns a runner with the default cost model.
@@ -123,6 +131,9 @@ func (r *Runner) Run(s Scenario, sut SUT) (*Result, error) {
 		return nil, err
 	}
 	clock := &sim.Virtual{}
+	if r.WrapSUT != nil {
+		sut = r.WrapSUT(sut, clock)
+	}
 
 	// Load the initial database (pinned keys when materialized, so
 	// compared SUTs see identical data).
@@ -241,6 +252,15 @@ func (r *Runner) Run(s Scenario, sut SUT) (*Result, error) {
 				clock.AdvanceTo(done)
 
 				latency := done - arrive
+				if outs[j].Failed {
+					// Failed ops hold the server for their work but
+					// produce no latency sample: an error is not a fast
+					// success, it is burned availability.
+					col.RecordFailed(done)
+					pres.Failed++
+					res.Outcomes.Observe(ops[j], outs[j])
+					continue
+				}
 				col.Record(done, latency)
 				pres.Latency.Record(latency)
 				pres.Completed++

@@ -16,6 +16,11 @@ type OpResult struct {
 	Found   bool
 	Visited int
 	Work    int64
+	// Failed marks an operation that completed as an error (injected
+	// fault, remote failure). Failed ops occupy the server for their Work
+	// like any other op but are excluded from latency statistics and
+	// counted separately — availability is a first-class result.
+	Failed bool
 }
 
 // SUT is a key-value system under test. Implementations need not be safe

@@ -18,8 +18,13 @@ import (
 )
 
 // sample is one completed operation: its completion offset from run start
-// and its latency, both in nanoseconds.
-type sample struct{ done, latency int64 }
+// and its latency, both in nanoseconds. failed marks operations that
+// completed as errors (OpResult.Failed) — they feed the failure series
+// instead of the latency structures.
+type sample struct {
+	done, latency int64
+	failed        bool
+}
 
 // Options configures a real-time run.
 type Options struct {
@@ -177,6 +182,7 @@ func Run(sut core.SUT, spec workload.Spec, initial distgen.Generator, initialSiz
 					latency: t1.Sub(t0).Nanoseconds(),
 				}
 				for j := 0; j < bn; j++ {
+					s.failed = res[j].Failed
 					out.samples = append(out.samples, s)
 					out.outcomes.Observe(ops[j], res[j])
 				}
@@ -200,6 +206,7 @@ func Run(sut core.SUT, spec workload.Spec, initial distgen.Generator, initialSiz
 		outcomes.Found += o.outcomes.Found
 		outcomes.NotFound += o.outcomes.NotFound
 		outcomes.WorkUnits += o.outcomes.WorkUnits
+		outcomes.Failed += o.outcomes.Failed
 	}
 	all := mergeSamples(parts)
 
@@ -208,6 +215,10 @@ func Run(sut core.SUT, spec workload.Spec, initial distgen.Generator, initialSiz
 		SLANs:      opts.SLANs,
 	})
 	for _, s := range all {
+		if s.failed {
+			col.RecordFailed(s.done)
+			continue
+		}
 		col.Record(s.done, s.latency)
 	}
 	return &Result{

@@ -1,0 +1,38 @@
+package fault
+
+import (
+	"net"
+	"time"
+)
+
+// Conn wraps a net.Conn with wire-frame faults: affected Write calls are
+// swallowed whole (WireDrop — lost-request semantics, the peer never
+// sees the frame) or delayed (WireDelay). The netdriver client writes
+// each request or batch as a single Write, so drops are frame-aligned
+// and the stream never desyncs; the client's retry loop turns a lost
+// frame into a timeout plus a seeded-backoff retry.
+type Conn struct {
+	net.Conn
+	inj *Injector
+}
+
+// NewConn wraps c with the injector's wire faults.
+func NewConn(c net.Conn, inj *Injector) *Conn { return &Conn{Conn: c, inj: inj} }
+
+// Write implements net.Conn. A dropped write reports full success — from
+// the caller's view the frame went out and was lost in flight.
+func (c *Conn) Write(p []byte) (int, error) {
+	d := c.inj.DecideWrite()
+	if d.Drop {
+		return len(p), nil
+	}
+	if d.DelayNs > 0 {
+		time.Sleep(time.Duration(d.DelayNs))
+	}
+	return c.Conn.Write(p)
+}
+
+// SetWireFaults implements the netdriver's WireFaultGater: the client
+// disables wire faults around load and close framing, whose multi-write
+// streams cannot tolerate a dropped chunk.
+func (c *Conn) SetWireFaults(on bool) { c.inj.SetWireFaults(on) }

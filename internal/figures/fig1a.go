@@ -33,6 +33,9 @@ type Scale struct {
 	// Batch is the runner's op-dispatch batch size (see core.Runner.Batch);
 	// virtual-clock results are byte-identical at any setting.
 	Batch int
+	// Faults optionally overrides the Fig 1e fault plan (fault.ParseSpec
+	// syntax). "" derives the default plan from each SUT's baseline run.
+	Faults string
 }
 
 // SmallScale keeps experiments under a second for tests.

@@ -25,6 +25,8 @@ type Collector struct {
 	bands     *BandTracker
 	sla       int64
 	completed int64
+	failed    int64
+	fails     *FailSeries
 	pending   []pendingSample
 }
 
@@ -92,6 +94,20 @@ func (c *Collector) Record(done, latency int64) {
 	}
 }
 
+// RecordFailed accounts one operation that completed as an error at time
+// done. Failed operations held the server but produced no valid latency:
+// they are excluded from the timeline, curve, histogram, and bands, and
+// tallied in a per-interval failure series instead — the availability
+// input of the recovery metrics. Allocation is deferred to first use so a
+// failure-free run's snapshot is unchanged.
+func (c *Collector) RecordFailed(done int64) {
+	c.failed++
+	if c.fails == nil {
+		c.fails = NewFailSeries(c.cfg.IntervalNs)
+	}
+	c.fails.Record(done)
+}
+
 // Calibrate forces SLA calibration from the samples buffered so far and
 // starts band tracking, replaying the buffer. Engines call it at natural
 // boundaries (the virtual runner at the end of phase 0) when the run may
@@ -149,6 +165,8 @@ func (c *Collector) Snapshot() Snapshot {
 		Latency:    c.latency,
 		SLANs:      c.sla,
 		Completed:  c.completed,
+		Failed:     c.failed,
+		Fails:      c.fails,
 	}
 }
 
@@ -169,4 +187,9 @@ type Snapshot struct {
 	SLANs int64
 	// Completed is the number of operations accounted.
 	Completed int64
+	// Failed is the number of operations that completed as errors
+	// (RecordFailed); they are excluded from every latency structure.
+	Failed int64
+	// Fails is the per-interval failure series (nil when no op failed).
+	Fails *FailSeries
 }

@@ -1,0 +1,183 @@
+package metrics
+
+// FailSeries counts failed operations per time interval — the companion
+// of BandTracker for availability: bands show how slow the successes
+// were, the fail series shows how many operations never succeeded at all.
+type FailSeries struct {
+	width  int64
+	counts []int64
+	total  int64
+}
+
+// NewFailSeries returns a series with the given interval width (ns).
+func NewFailSeries(width int64) *FailSeries {
+	if width <= 0 {
+		panic("metrics: NewFailSeries with non-positive width")
+	}
+	return &FailSeries{width: width}
+}
+
+// Width returns the interval width in nanoseconds.
+func (f *FailSeries) Width() int64 { return f.width }
+
+// Record accounts one failure at time t (ns since run start). Failures
+// may arrive out of interval order (concurrent workers).
+func (f *FailSeries) Record(t int64) {
+	if t < 0 {
+		t = 0
+	}
+	idx := int(t / f.width)
+	for len(f.counts) <= idx {
+		f.counts = append(f.counts, 0)
+	}
+	f.counts[idx]++
+	f.total++
+}
+
+// At returns the failure count of interval idx (0 past the end).
+func (f *FailSeries) At(idx int) int64 {
+	if idx < 0 || idx >= len(f.counts) {
+		return 0
+	}
+	return f.counts[idx]
+}
+
+// Len returns the number of intervals recorded.
+func (f *FailSeries) Len() int { return len(f.counts) }
+
+// Total returns the total failure count.
+func (f *FailSeries) Total() int64 { return f.total }
+
+// RecoveryStats is the robustness view of a faulted run: how far the
+// system degraded during the fault window and how long it took to return
+// to its pre-fault SLA band afterwards. It backs the Fig 1e report panel.
+type RecoveryStats struct {
+	// FaultStartNs/FaultEndNs bound the fault window measured against.
+	FaultStartNs, FaultEndNs int64
+	// BaselineViolationRate is the SLA violation rate of the pre-fault
+	// intervals — the band the system must return to.
+	BaselineViolationRate float64
+	// PeakViolationRate is the worst per-interval violation rate at or
+	// after fault start (failures count as violations).
+	PeakViolationRate float64
+	// TimeToRecoverNs is the time from fault end until the system first
+	// sustains recoveredSustain consecutive healthy intervals (no
+	// failures, some completions, violation rate within tolerance of
+	// baseline), measured to the start of the first such interval. -1 when
+	// the run ends without recovering.
+	TimeToRecoverNs int64
+	// Recovered reports whether the run recovered before it ended.
+	Recovered bool
+	// Availability is the fraction of all operations (completed + failed)
+	// that succeeded.
+	Availability float64
+	// FailedOps is the number of failed operations.
+	FailedOps int64
+	// ErrorBudgetBurn is the fraction of the run's error budget consumed:
+	// (1 - Availability) / budget, where the budget is the fraction of
+	// allowed failures (SRE-style; 1.0 means the budget is exactly spent).
+	ErrorBudgetBurn float64
+}
+
+// Recovery-measurement constants: an interval is healthy when its
+// violation rate is within recoveryTolerance of the pre-fault baseline
+// and it saw no failures; recovery requires recoveredSustain consecutive
+// healthy intervals. DefaultErrorBudget is the allowed failure fraction
+// ("three nines") when the caller does not set one.
+const (
+	recoveryTolerance  = 0.05
+	recoveredSustain   = 3
+	DefaultErrorBudget = 0.001
+)
+
+// Recovery computes the robustness view of this snapshot against a fault
+// window [faultStartNs, faultEndNs). budgetFrac is the allowed failure
+// fraction for error-budget burn (<= 0 means DefaultErrorBudget). The
+// snapshot must have band tracking (a finalized Collector always does).
+func (s Snapshot) Recovery(faultStartNs, faultEndNs int64, budgetFrac float64) RecoveryStats {
+	if budgetFrac <= 0 {
+		budgetFrac = DefaultErrorBudget
+	}
+	rec := RecoveryStats{
+		FaultStartNs:    faultStartNs,
+		FaultEndNs:      faultEndNs,
+		TimeToRecoverNs: -1,
+	}
+	if s.Fails != nil {
+		rec.FailedOps = s.Fails.Total()
+	} else {
+		rec.FailedOps = s.Failed
+	}
+	total := s.Completed + rec.FailedOps
+	if total > 0 {
+		rec.Availability = float64(s.Completed) / float64(total)
+	} else {
+		rec.Availability = 1
+	}
+	rec.ErrorBudgetBurn = (1 - rec.Availability) / budgetFrac
+
+	if s.Bands == nil {
+		return rec
+	}
+	ivs := s.Bands.Intervals()
+	width := s.Bands.Width()
+	if len(ivs) == 0 || width <= 0 {
+		return rec
+	}
+
+	// Baseline: violation rate of the intervals fully before fault start.
+	var baseDone, baseBad int64
+	for _, iv := range ivs {
+		if iv.Start+width > faultStartNs {
+			break
+		}
+		baseDone += iv.Completed
+		baseBad += iv.Violated
+	}
+	if baseDone > 0 {
+		rec.BaselineViolationRate = float64(baseBad) / float64(baseDone)
+	}
+
+	// Degradation and recovery scan from the first interval touching the
+	// fault. Failures count against each interval's rate: an interval
+	// where every op failed is maximally violated, not empty.
+	healthy := 0
+	firstIdx := int(faultStartNs / width)
+	for idx := firstIdx; idx < len(ivs) || (s.Fails != nil && idx < s.Fails.Len()); idx++ {
+		var iv Interval
+		if idx < len(ivs) {
+			iv = ivs[idx]
+		} else {
+			iv.Start = int64(idx) * width
+		}
+		fails := int64(0)
+		if s.Fails != nil {
+			fails = s.Fails.At(idx)
+		}
+		done := iv.Completed + fails
+		var rate float64
+		if done > 0 {
+			rate = float64(iv.Violated+fails) / float64(done)
+		}
+		if rate > rec.PeakViolationRate {
+			rec.PeakViolationRate = rate
+		}
+		if rec.Recovered || iv.Start+width <= faultEndNs {
+			continue // still inside the fault window (or already done)
+		}
+		if fails == 0 && iv.Completed > 0 && rate <= rec.BaselineViolationRate+recoveryTolerance {
+			healthy++
+			if healthy == recoveredSustain {
+				first := iv.Start - int64(recoveredSustain-1)*width
+				rec.TimeToRecoverNs = first - faultEndNs
+				if rec.TimeToRecoverNs < 0 {
+					rec.TimeToRecoverNs = 0
+				}
+				rec.Recovered = true
+			}
+		} else {
+			healthy = 0
+		}
+	}
+	return rec
+}

@@ -1,0 +1,66 @@
+package netdriver
+
+import (
+	"errors"
+	"net"
+)
+
+// Sentinel errors for the wire layer. Every error the netdriver surfaces
+// wraps exactly one stage sentinel (where it happened) and one class
+// sentinel (whether retrying can help), so callers branch with errors.Is
+// instead of string matching:
+//
+//	if errors.Is(err, netdriver.ErrTransient) { backoff and retry }
+//	if errors.Is(err, netdriver.ErrDial)      { the server is not there }
+var (
+	// ErrListen marks a failure to bind the server's listener.
+	ErrListen = errors.New("netdriver: listen")
+	// ErrDial marks a failure to connect to the server.
+	ErrDial = errors.New("netdriver: dial")
+	// ErrTransient classifies failures worth retrying: timeouts and other
+	// conditions the peer may recover from (a dropped frame, a stalled
+	// worker). The client's backoff loop retries these.
+	ErrTransient = errors.New("netdriver: transient")
+	// ErrFatal classifies failures retrying cannot fix: closed or reset
+	// connections, protocol desync, the peer gone for good. The client
+	// latches these immediately.
+	ErrFatal = errors.New("netdriver: fatal")
+)
+
+// WireError is the concrete error type of every client-side wire failure:
+// the protocol stage it happened in, its retry class, and the underlying
+// I/O error. It unwraps to both its class sentinel and the cause, so
+// errors.Is works against ErrTransient/ErrFatal and against net errors.
+type WireError struct {
+	// Stage names the protocol step: "request", "response", "batch
+	// request", "batch response", "load", "load ack".
+	Stage string
+	// Class is ErrTransient or ErrFatal.
+	Class error
+	// Err is the underlying I/O error.
+	Err error
+}
+
+// Error implements error.
+func (e *WireError) Error() string {
+	return "netdriver: " + e.Stage + ": " + e.Err.Error()
+}
+
+// Unwrap exposes both the retry class and the cause to errors.Is/As.
+func (e *WireError) Unwrap() []error { return []error{e.Class, e.Err} }
+
+// classify maps an I/O error to its retry class: timeouts are transient
+// (the frame may simply have been lost — retrying re-sends it); anything
+// else (EOF, reset, closed) means the session is gone.
+func classify(err error) error {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return ErrTransient
+	}
+	return ErrFatal
+}
+
+// wireErr builds the stage-tagged, classified error for an I/O failure.
+func wireErr(stage string, err error) *WireError {
+	return &WireError{Stage: stage, Class: classify(err), Err: err}
+}

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
@@ -35,6 +36,33 @@ type Options struct {
 	ReadTimeout time.Duration
 	// WriteTimeout bounds each frame write/flush.
 	WriteTimeout time.Duration
+
+	// WrapConn, when set, wraps the client's raw connection before
+	// deadlines apply — the injection point for wire-fault middleware
+	// (fault.NewConn). If the wrapped conn implements WireFaultGater the
+	// client gates faults off around load and close framing, whose
+	// multi-write streams cannot tolerate a dropped chunk.
+	WrapConn func(net.Conn) net.Conn
+	// MaxRetries is how many times the client re-sends an operation after
+	// a transient failure (ErrTransient: a response timeout, i.e. a frame
+	// presumed lost) before latching the error. 0 disables retries.
+	// Retries assume lost-request semantics — the request never reached
+	// the server — so they require ReadTimeout to be set.
+	MaxRetries int
+	// RetryBase/RetryMax bound the capped exponential backoff between
+	// retries (defaults 1ms and 250ms).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// RetrySeed seeds the backoff jitter, keeping retry timing
+	// reproducible for a fixed seed.
+	RetrySeed uint64
+}
+
+// WireFaultGater is implemented by WrapConn wrappers whose faults must be
+// suspended around multi-write framing (load, close). fault.Conn
+// implements it.
+type WireFaultGater interface {
+	SetWireFaults(on bool)
 }
 
 // deadlineConn applies per-operation deadlines around a net.Conn.
@@ -102,7 +130,7 @@ func Serve(addr string, factory func() core.SUT) (*Server, error) {
 func ServeOptions(addr string, factory func() core.SUT, opts Options) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("netdriver: listen: %w", err)
+		return nil, fmt.Errorf("%w %s: %w", ErrListen, addr, err)
 	}
 	s := &Server{ln: ln, factory: factory, opts: opts}
 	s.wg.Add(1)
@@ -150,15 +178,34 @@ func decodeOp(req []byte) workload.Op {
 	}
 }
 
+// Response flag bits (resp[0]). respFound doubles as the historical
+// found=1 byte, so pre-flag peers interoperate for successful ops.
+const (
+	respFound  = 1 << 0
+	respFailed = 1 << 1
+)
+
 // encodeResult encodes an op result into a response frame.
 func encodeResult(resp []byte, res core.OpResult) {
+	resp[0] = 0
 	if res.Found {
-		resp[0] = 1
-	} else {
-		resp[0] = 0
+		resp[0] |= respFound
+	}
+	if res.Failed {
+		resp[0] |= respFailed
 	}
 	binary.BigEndian.PutUint32(resp[1:5], uint32(res.Visited))
 	binary.BigEndian.PutUint64(resp[5:13], uint64(res.Work))
+}
+
+// decodeResult decodes a response frame into an op result.
+func decodeResult(resp []byte) core.OpResult {
+	return core.OpResult{
+		Found:   resp[0]&respFound != 0,
+		Failed:  resp[0]&respFailed != 0,
+		Visited: int(binary.BigEndian.Uint32(resp[1:5])),
+		Work:    int64(binary.BigEndian.Uint64(resp[5:13])),
+	}
 }
 
 func (s *Server) handle(raw net.Conn) {
@@ -260,6 +307,16 @@ type Client struct {
 	// scratch buffers batch frames so a whole batch goes out in one
 	// write and comes back in one read loop (DoBatch).
 	scratch []byte
+
+	// Retry state: transient failures (ErrTransient — a presumed-lost
+	// frame) are re-sent up to maxRetries times with capped exponential
+	// backoff and seeded jitter before the error latches.
+	maxRetries int
+	retryBase  time.Duration
+	retryMax   time.Duration
+	retryRNG   *stats.RNG
+	retries    int64
+	gater      WireFaultGater
 }
 
 // Dial connects to a netdriver server with no I/O deadlines.
@@ -269,18 +326,60 @@ func Dial(addr string) (*Client, error) {
 
 // DialOptions connects with per-operation I/O deadlines: a dead or
 // stalled server surfaces as an error on the client (via Err and DoErr)
-// after opts.ReadTimeout instead of hanging the driver forever.
+// after opts.ReadTimeout instead of hanging the driver forever. With
+// opts.MaxRetries set, transient failures back off and retry first.
 func DialOptions(addr string, opts Options) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("netdriver: dial: %w", err)
+		return nil, fmt.Errorf("%w %s: %w", ErrDial, addr, err)
+	}
+	var gater WireFaultGater
+	if opts.WrapConn != nil {
+		wrapped := opts.WrapConn(conn)
+		gater, _ = wrapped.(WireFaultGater)
+		conn = wrapped
+	}
+	base := opts.RetryBase
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	max := opts.RetryMax
+	if max < base {
+		max = 250 * time.Millisecond
 	}
 	dc := &deadlineConn{Conn: conn, opts: opts}
 	return &Client{
-		conn: dc,
-		r:    bufio.NewReaderSize(dc, 1<<16),
-		name: "remote(" + addr + ")",
+		conn:       dc,
+		r:          bufio.NewReaderSize(dc, 1<<16),
+		name:       "remote(" + addr + ")",
+		maxRetries: opts.MaxRetries,
+		retryBase:  base,
+		retryMax:   max,
+		retryRNG:   stats.NewRNG(opts.RetrySeed ^ 0xFA17),
+		gater:      gater,
 	}, nil
+}
+
+// Retries returns how many transient-failure retries the session made.
+func (c *Client) Retries() int64 { return c.retries }
+
+// backoff sleeps the capped exponential delay for retry attempt (0-based)
+// with seeded jitter in [d/2, d).
+func (c *Client) backoff(attempt int) {
+	d := c.retryBase << attempt
+	if d > c.retryMax || d <= 0 {
+		d = c.retryMax
+	}
+	d = d/2 + time.Duration(c.retryRNG.Float64()*float64(d/2))
+	time.Sleep(d)
+}
+
+// setWireFaults gates WrapConn fault middleware around framing that
+// cannot tolerate drops.
+func (c *Client) setWireFaults(on bool) {
+	if c.gater != nil {
+		c.gater.SetWireFaults(on)
+	}
 }
 
 // Name implements core.SUT.
@@ -290,26 +389,34 @@ func (c *Client) Name() string { return c.name }
 // subsequent operations are no-ops returning zero results.
 func (c *Client) Err() error { return c.err }
 
-// fail latches the session's first error.
+// fail latches the session's first error as a stage-tagged, classified
+// WireError (errors.Is-able against ErrTransient/ErrFatal).
 func (c *Client) fail(stage string, err error) error {
 	if c.err == nil {
-		c.err = fmt.Errorf("netdriver: %s: %w", stage, err)
+		c.err = wireErr(stage, err)
 	}
 	return c.err
 }
 
-// Close terminates the session.
+// Close terminates the session. Wire faults are gated off: the close
+// frame must reach the server so it releases the connection promptly.
 func (c *Client) Close() error {
+	c.setWireFaults(false)
 	c.req[0] = opClose
 	c.conn.Write(c.req[:])
 	return c.conn.Close()
 }
 
-// Load implements core.SUT by streaming the pairs to the server.
+// Load implements core.SUT by streaming the pairs to the server. Wire
+// faults are gated off for the duration: the load stream is one logical
+// frame spread over many writes, and a dropped chunk would desync the
+// session rather than simulate a lost request.
 func (c *Client) Load(keys, values []uint64) {
 	if c.err != nil {
 		return
 	}
+	c.setWireFaults(false)
+	defer c.setWireFaults(true)
 	c.req[0] = opLoadBegin
 	binary.BigEndian.PutUint64(c.req[1:9], uint64(len(keys)))
 	if _, err := c.conn.Write(c.req[:]); err != nil {
@@ -343,7 +450,10 @@ func (c *Client) Do(op workload.Op) core.OpResult {
 
 // DoErr executes one operation and surfaces the I/O error, if any —
 // callers that can handle failure (the service's remote adapters) should
-// prefer it over the error-swallowing SUT-interface Do.
+// prefer it over the error-swallowing SUT-interface Do. Transient
+// failures (a response timeout: the request frame presumed lost in
+// flight) are re-sent up to Options.MaxRetries times with capped
+// exponential backoff before the session latches the error.
 func (c *Client) DoErr(op workload.Op) (core.OpResult, error) {
 	if c.err != nil {
 		return core.OpResult{}, c.err
@@ -352,17 +462,25 @@ func (c *Client) DoErr(op workload.Op) (core.OpResult, error) {
 	binary.BigEndian.PutUint64(c.req[1:9], op.Key)
 	binary.BigEndian.PutUint64(c.req[9:17], op.Value)
 	binary.BigEndian.PutUint32(c.req[17:21], uint32(op.ScanLimit))
-	if _, err := c.conn.Write(c.req[:]); err != nil {
-		return core.OpResult{}, c.fail("request", err)
+	for attempt := 0; ; attempt++ {
+		if _, err := c.conn.Write(c.req[:]); err != nil {
+			return core.OpResult{}, c.fail("request", err)
+		}
+		_, err := io.ReadFull(c.r, c.resp[:])
+		if err == nil {
+			return decodeResult(c.resp[:]), nil
+		}
+		we := wireErr("response", err)
+		if we.Class == ErrTransient && attempt < c.maxRetries {
+			c.retries++
+			c.backoff(attempt)
+			continue
+		}
+		if c.err == nil {
+			c.err = we
+		}
+		return core.OpResult{}, c.err
 	}
-	if _, err := io.ReadFull(c.r, c.resp[:]); err != nil {
-		return core.OpResult{}, c.fail("response", err)
-	}
-	return core.OpResult{
-		Found:   c.resp[0] == 1,
-		Visited: int(binary.BigEndian.Uint32(c.resp[1:5])),
-		Work:    int64(binary.BigEndian.Uint64(c.resp[5:13])),
-	}, nil
 }
 
 // DoBatch implements core.BatchSUT with batched wire frames: one batch
@@ -405,26 +523,40 @@ func (c *Client) doBatchChunk(ops []workload.Op, out []core.OpResult) {
 		binary.BigEndian.PutUint32(f[17:21], uint32(op.ScanLimit))
 		buf = append(buf, f[:]...)
 	}
-	if _, err := c.conn.Write(buf); err != nil {
-		c.fail("batch request", err)
-		for i := range out[:len(ops)] {
-			out[i] = core.OpResult{}
+	for attempt := 0; ; attempt++ {
+		if _, err := c.conn.Write(buf); err != nil {
+			c.fail("batch request", err)
+			for i := range out[:len(ops)] {
+				out[i] = core.OpResult{}
+			}
+			return
 		}
-		return
-	}
-	for i := range ops {
-		if _, err := io.ReadFull(c.r, c.resp[:]); err != nil {
-			c.fail("batch response", err)
+		for i := range ops {
+			_, err := io.ReadFull(c.r, c.resp[:])
+			if err == nil {
+				out[i] = decodeResult(c.resp[:])
+				continue
+			}
+			we := wireErr("batch response", err)
+			// Retry only when no response frame arrived at all: the whole
+			// batch write was lost (lost-request semantics). A timeout
+			// mid-batch means the stream itself broke — re-sending would
+			// desync it.
+			if i == 0 && we.Class == ErrTransient && attempt < c.maxRetries {
+				c.retries++
+				c.backoff(attempt)
+				goto retry
+			}
+			if c.err == nil {
+				c.err = we
+			}
 			for ; i < len(ops); i++ {
 				out[i] = core.OpResult{}
 			}
 			return
 		}
-		out[i] = core.OpResult{
-			Found:   c.resp[0] == 1,
-			Visited: int(binary.BigEndian.Uint32(c.resp[1:5])),
-			Work:    int64(binary.BigEndian.Uint64(c.resp[5:13])),
-		}
+		return
+	retry:
 	}
 }
 

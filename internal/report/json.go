@@ -37,10 +37,13 @@ func SummarizeLatency(h *metrics.Histogram) LatencySummary {
 
 // PhaseView is the JSON form of one phase's results.
 type PhaseView struct {
-	Name        string         `json:"name"`
-	StartNs     int64          `json:"startNs"`
-	EndNs       int64          `json:"endNs"`
-	Completed   int64          `json:"completed"`
+	Name      string `json:"name"`
+	StartNs   int64  `json:"startNs"`
+	EndNs     int64  `json:"endNs"`
+	Completed int64  `json:"completed"`
+	// Failed counts error completions (injected faults); omitted for
+	// fault-free runs so their encoding is unchanged.
+	Failed      int64          `json:"failed,omitempty"`
 	Throughput  float64        `json:"throughput"`
 	RetrainWork int64          `json:"retrainWork"`
 	Latency     LatencySummary `json:"latency"`
@@ -55,7 +58,10 @@ type ResultView struct {
 	Scenario string `json:"scenario"`
 	SUT      string `json:"sut"`
 
-	Completed  int64   `json:"completed"`
+	Completed int64 `json:"completed"`
+	// Failed counts error completions; omitted for fault-free runs so
+	// their encoding — and every pre-fault golden — is unchanged.
+	Failed     int64   `json:"failed,omitempty"`
 	DurationNs int64   `json:"durationNs"`
 	Throughput float64 `json:"throughput"`
 
@@ -84,6 +90,7 @@ type ResultView struct {
 func viewFromSnapshot(s metrics.Snapshot) ResultView {
 	v := ResultView{
 		Completed: s.Completed,
+		Failed:    s.Failed,
 		Latency:   SummarizeLatency(s.Latency),
 		SLANs:     s.SLANs,
 	}
@@ -114,6 +121,7 @@ func NewResultView(r *core.Result) ResultView {
 			StartNs:     p.StartNs,
 			EndNs:       p.EndNs,
 			Completed:   p.Completed,
+			Failed:      p.Failed,
 			Throughput:  p.Throughput(),
 			RetrainWork: p.RetrainWork,
 			Latency:     SummarizeLatency(p.Latency),

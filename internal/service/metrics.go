@@ -15,6 +15,8 @@ import (
 type observer struct {
 	mu         sync.Mutex
 	runs       int64
+	rejected   int64              // submissions bounced with 429 (queue full)
+	retried    int64              // submissions marked X-Retry-Attempt (a client came back)
 	runLatency *metrics.Histogram // wall-clock ns per completed run
 }
 
@@ -30,6 +32,34 @@ func (o *observer) observeRun(wallNs int64) {
 	o.runLatency.Record(wallNs)
 }
 
+// observeRejected counts one 429-rejected submission.
+func (o *observer) observeRejected() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.rejected++
+}
+
+// observeRetried counts one submission marked as a retry (the client set
+// X-Retry-Attempt after an earlier 429).
+func (o *observer) observeRetried() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.retried++
+}
+
+// retryAfterSeconds derives the 429 Retry-After value from observed run
+// latency — roughly one mean run frees one worker slot — floored at the
+// header's 1-second granularity.
+func (o *observer) retryAfterSeconds() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	sec := int(o.runLatency.Mean() / 1e9)
+	if sec < 1 {
+		sec = 1
+	}
+	return sec
+}
+
 // jobStates is the fixed render order for per-state gauges.
 var jobStates = []JobState{JobQueued, JobRunning, JobDone, JobFailed, JobCanceled, JobTimeout}
 
@@ -38,10 +68,12 @@ var jobStates = []JobState{JobQueued, JobRunning, JobDone, JobFailed, JobCancele
 func (o *observer) writeMetrics(w io.Writer, queueDepth int, byState map[JobState]int, stored int) {
 	o.mu.Lock()
 	runs := o.runs
+	rejected := o.rejected
+	retried := o.retried
 	digest := struct {
-		count          uint64
-		mean           float64
-		p50, p99, max  int64
+		count         uint64
+		mean          float64
+		p50, p99, max int64
 	}{
 		count: o.runLatency.Count(),
 		mean:  o.runLatency.Mean(),
@@ -68,6 +100,14 @@ func (o *observer) writeMetrics(w io.Writer, queueDepth int, byState map[JobStat
 	fmt.Fprintln(w, "# HELP lsbench_runs_total Completed benchmark runs (done or failed).")
 	fmt.Fprintln(w, "# TYPE lsbench_runs_total counter")
 	fmt.Fprintf(w, "lsbench_runs_total %d\n", runs)
+
+	fmt.Fprintln(w, "# HELP lsbench_jobs_rejected_total Submissions bounced with 429 (queue full).")
+	fmt.Fprintln(w, "# TYPE lsbench_jobs_rejected_total counter")
+	fmt.Fprintf(w, "lsbench_jobs_rejected_total %d\n", rejected)
+
+	fmt.Fprintln(w, "# HELP lsbench_jobs_retried_total Accepted or rejected submissions marked X-Retry-Attempt.")
+	fmt.Fprintln(w, "# TYPE lsbench_jobs_retried_total counter")
+	fmt.Fprintf(w, "lsbench_jobs_retried_total %d\n", retried)
 
 	fmt.Fprintln(w, "# HELP lsbench_run_latency_ns Wall-clock run latency digest.")
 	fmt.Fprintln(w, "# TYPE lsbench_run_latency_ns summary")

@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/par"
 	"repro/internal/report"
 )
@@ -66,6 +67,11 @@ type Config struct {
 	StorePath string
 	// LogWriter receives structured request logs (nil = disabled).
 	LogWriter io.Writer
+	// Fault, when set, is the chaos-drill hook: workers picking up a job
+	// inside one of its WorkerStall windows sleep the window out before
+	// running (the queue backs up, clients see 429 + Retry-After, and the
+	// service's recovery is measurable from /metrics).
+	Fault *fault.Injector
 }
 
 // Service is the benchmark-as-a-service daemon state.
@@ -195,11 +201,21 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.order = append(s.order, job.ID)
 	s.mu.Unlock()
 
+	// Clients resubmitting after a 429 mark the attempt so the
+	// rejected-vs-retried balance is observable in /metrics.
+	if r.Header.Get("X-Retry-Attempt") != "" {
+		s.obs.observeRetried()
+	}
+
 	if !s.pool.TrySubmit(func() { s.execute(job) }) {
 		s.mu.Lock()
 		job.State = JobFailed
 		job.Err = "queue full"
 		s.mu.Unlock()
+		s.obs.observeRejected()
+		// Retry-After derived from observed run latency: one mean run
+		// frees one worker slot (floor 1s, the header's granularity).
+		w.Header().Set("Retry-After", strconv.Itoa(s.obs.retryAfterSeconds()))
 		writeError(w, http.StatusTooManyRequests, "job queue full, retry later")
 		return
 	}
@@ -288,6 +304,14 @@ func (s *Service) execute(job *Job) {
 		timeout = time.Duration(job.Req.TimeoutMs) * time.Millisecond
 	}
 	s.mu.Unlock()
+
+	// Chaos drill: a worker inside a stall window sleeps it out before
+	// running, so the queue visibly backs up and drains.
+	if s.cfg.Fault != nil {
+		if d := s.cfg.Fault.StallFor(); d > 0 {
+			time.Sleep(d)
+		}
+	}
 
 	type outcome struct {
 		res *core.Result

@@ -39,6 +39,8 @@ package lsbench
 import (
 	"repro/internal/core"
 	"repro/internal/distgen"
+	"repro/internal/fault"
+	"repro/internal/metrics"
 	"repro/internal/workload"
 )
 
@@ -137,6 +139,46 @@ var (
 	NewPoisson = workload.NewPoisson
 	NewDiurnal = workload.NewDiurnal
 	NewBursty  = workload.NewBursty
+)
+
+// Fault injection and recovery measurement (the robustness view, Fig 1e).
+// A FaultPlan is a seeded schedule of fault windows; wrapping a SUT with
+// an injector driven by the run's clock makes the same seed reproduce the
+// same faults byte for byte.
+type (
+	// FaultPlan is a deterministic schedule of fault windows.
+	FaultPlan = fault.Plan
+	// FaultWindow is one fault interval (or instant, for crashes).
+	FaultWindow = fault.Window
+	// FaultInjector turns a plan into per-operation decisions.
+	FaultInjector = fault.Injector
+	// FaultReport is the injector's ledger of what actually fired.
+	FaultReport = fault.Report
+	// RecoveryStats is the post-fault recovery view of a run's snapshot.
+	RecoveryStats = metrics.RecoveryStats
+)
+
+// Fault kinds for hand-built FaultWindow values (ParseFaultSpec covers
+// the common cases).
+const (
+	FaultSlowOps      = fault.SlowOps
+	FaultErrorOps     = fault.ErrorOps
+	FaultCrashRestart = fault.CrashRestart
+	FaultWireDrop     = fault.WireDrop
+	FaultWireDelay    = fault.WireDelay
+	FaultWorkerStall  = fault.WorkerStall
+)
+
+var (
+	// ParseFaultSpec parses "kind@start-end:param,..." schedules, e.g.
+	// "slow@10ms-20ms:factor=8;crash@35ms;error@55ms-65ms".
+	ParseFaultSpec = fault.ParseSpec
+	// NewFaultInjector builds an injector for a plan (nil clock = wall).
+	NewFaultInjector = fault.NewInjector
+	// WithFaults wraps a SUT so the injector's decisions apply to every
+	// operation. Typically installed via Runner.WrapSUT so the injector
+	// shares the run's virtual clock.
+	WithFaults = fault.Wrap
 )
 
 // KeyDomain is the key universe upper bound used by bounded generators.
