@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race race check cover bench bench-smoke bench-baseline bench-check figures examples clean
+.PHONY: all build vet test test-race race test-cluster check cover bench bench-smoke bench-baseline bench-check figures examples clean
 
 all: check
 
@@ -21,6 +21,12 @@ test-race:
 	$(GO) test -race ./...
 
 race: test-race
+
+# The distributed tier: coordinator + workers + the wire and store layers
+# they depend on, under the race detector — the cluster's health/poll/
+# anti-entropy loops are genuinely concurrent with dispatch.
+test-cluster:
+	$(GO) test -race -count=1 ./internal/cluster/ ./internal/service/ ./internal/netdriver/
 
 # check is the full local CI gate: build, vet, tier-1 tests, race tier.
 check: build vet test test-race

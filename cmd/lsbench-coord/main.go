@@ -1,0 +1,109 @@
+// Command lsbench-coord runs the sharded benchmark cluster coordinator:
+// it consistent-hashes submitted jobs across a fleet of lsbench-svc
+// worker daemons, replicates every worker's result store into a merged
+// cluster-wide store by anti-entropy catch-up, serves the merged
+// leaderboard, and re-routes work when a worker dies or leaves.
+//
+// Usage:
+//
+//	lsbench-coord -workers http://h1:8080,http://h2:8080 [-addr :9090]
+//	              [-store cluster.jsonl] [-timeout 5s] [-retries 3]
+//	              [-seed 1] [-replicas 64]
+//
+// Submit a job, watch the cluster, read the merged leaderboard:
+//
+//	curl -s localhost:9090/v1/jobs -d '{"sut":"rmi","scenario":"smoke"}'
+//	curl -s localhost:9090/v1/cluster
+//	curl -s 'localhost:9090/v1/leaderboard?scenario=smoke'
+//
+// Grow or shrink the fleet at runtime:
+//
+//	curl -s localhost:9090/v1/cluster/join  -d '{"addr":"http://h3:8080"}'
+//	curl -s localhost:9090/v1/cluster/leave -d '{"addr":"http://h1:8080"}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":9090", "coordinator listen address")
+		workers  = flag.String("workers", "", "comma-separated worker base URLs (http://host:port)")
+		store    = flag.String("store", "cluster.jsonl", "replicated store path (JSON lines; empty = in-memory)")
+		timeout  = flag.Duration("timeout", 5*time.Second, "per-op deadline on worker calls")
+		retries  = flag.Int("retries", 3, "transient-failure re-sends per worker call")
+		seed     = flag.Uint64("seed", 1, "retry backoff jitter seed")
+		replicas = flag.Int("replicas", 64, "consistent-hash virtual points per node")
+	)
+	flag.Parse()
+
+	var nodes []string
+	for _, w := range strings.Split(*workers, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			nodes = append(nodes, w)
+		}
+	}
+	if len(nodes) == 0 {
+		fatal(errors.New("no workers: pass -workers http://host:port[,...]"))
+	}
+
+	co, err := cluster.New(cluster.Config{
+		Workers:        nodes,
+		Replicas:       *replicas,
+		RequestTimeout: *timeout,
+		MaxRetries:     *retries,
+		RetrySeed:      *seed,
+		StorePath:      *store,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: co.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		err := srv.ListenAndServe()
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+	fmt.Printf("lsbench-coord: listening on %s (%d workers, store %q, %d replicated results)\n",
+		*addr, len(nodes), *store, co.Store().Len())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		co.Close()
+		fatal(err)
+	case s := <-sig:
+		fmt.Printf("lsbench-coord: %v — draining\n", s)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "lsbench-coord: shutdown:", err)
+	}
+	if err := co.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "lsbench-coord:", err)
+	}
+	fmt.Println("lsbench-coord: drained, bye")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lsbench-coord:", err)
+	os.Exit(1)
+}

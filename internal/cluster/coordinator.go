@@ -1,0 +1,662 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/netdriver"
+	"repro/internal/service"
+)
+
+// Config wires a Coordinator.
+type Config struct {
+	// Workers are the initial worker base URLs (http://host:port). More
+	// can join (and any can leave) at runtime via /v1/cluster/join|leave.
+	Workers []string
+	// Replicas is the consistent-hash virtual-point count per node
+	// (default 64).
+	Replicas int
+	// RequestTimeout is the per-op deadline on every worker HTTP call
+	// (default 5s).
+	RequestTimeout time.Duration
+	// MaxRetries bounds transient re-sends per worker call (default 3).
+	MaxRetries int
+	// RetryBase/RetryMax shape the capped-exponential backoff
+	// (defaults 5ms / 250ms).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// RetrySeed seeds the backoff jitter so retry timing is reproducible.
+	RetrySeed uint64
+	// HealthInterval is the liveness probe period (default 250ms);
+	// HealthFailures consecutive probe failures mark a node dead
+	// (default 2).
+	HealthInterval time.Duration
+	HealthFailures int
+	// PollInterval is the job status poll period (default 50ms).
+	PollInterval time.Duration
+	// AntiEntropyInterval is the store catch-up period (default 1s).
+	AntiEntropyInterval time.Duration
+	// MaxDispatches bounds how many nodes one job may be re-routed
+	// across before the coordinator fails it (default 3).
+	MaxDispatches int
+	// StorePath is the coordinator's replicated JSON-lines store
+	// ("" = in-memory only).
+	StorePath string
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 64
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 5 * time.Second
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 3
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 5 * time.Millisecond
+	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = 250 * time.Millisecond
+	}
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = 250 * time.Millisecond
+	}
+	if cfg.HealthFailures <= 0 {
+		cfg.HealthFailures = 2
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 50 * time.Millisecond
+	}
+	if cfg.AntiEntropyInterval <= 0 {
+		cfg.AntiEntropyInterval = time.Second
+	}
+	if cfg.MaxDispatches <= 0 {
+		cfg.MaxDispatches = 3
+	}
+	return cfg
+}
+
+// node is one worker's cluster-side state.
+type node struct {
+	addr   string
+	client *workerClient
+	alive  bool
+	fails  int // consecutive health probe failures
+}
+
+// clusterJob is the coordinator's record of one dispatched job.
+type clusterJob struct {
+	ID         string
+	Req        service.JobRequest // as submitted (ID unset; assigned at dispatch)
+	Node       string             // current owner worker
+	State      service.JobState
+	Scenario   string
+	Seed       uint64
+	Err        string
+	Dispatches int  // how many dispatch attempts this job has consumed
+	done       bool // terminal from the cluster's point of view
+	inflight   bool // a dispatch call is in progress (guards re-entry)
+}
+
+// JobView is the coordinator's status JSON for a job — the worker view
+// plus placement.
+type JobView struct {
+	ID         string           `json:"id"`
+	State      service.JobState `json:"state"`
+	Scenario   string           `json:"scenario"`
+	SUT        string           `json:"sut"`
+	Seed       uint64           `json:"seed,omitempty"`
+	Node       string           `json:"node"`
+	Dispatches int              `json:"dispatches"`
+	Error      string           `json:"error,omitempty"`
+}
+
+func (j *clusterJob) view() JobView {
+	return JobView{
+		ID:         j.ID,
+		State:      j.State,
+		Scenario:   j.Scenario,
+		SUT:        j.Req.SUT,
+		Seed:       j.Seed,
+		Node:       j.Node,
+		Dispatches: j.Dispatches,
+		Error:      j.Err,
+	}
+}
+
+// Coordinator shards benchmark jobs across worker nodes and merges their
+// results. See the package comment for the full design.
+//
+// Locking rule: co.mu is never held across a worker HTTP call — dispatch,
+// polling, and anti-entropy all snapshot under the lock, call with it
+// released, then re-acquire to record outcomes.
+type Coordinator struct {
+	cfg   Config
+	store *service.Store
+
+	mu     sync.Mutex
+	ring   *Ring
+	nodes  map[string]*node
+	jobs   map[string]*clusterJob
+	order  []string // submission order
+	nextID int
+	// seen tracks replicated JobIDs so anti-entropy pulls only the set
+	// difference and never appends a duplicate.
+	seen map[string]bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New builds a Coordinator over cfg.Workers and starts its health, poll,
+// and anti-entropy loops. Call Close to stop them and release the store.
+func New(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	store, err := service.OpenStore(cfg.StorePath)
+	if err != nil {
+		return nil, err
+	}
+	co := &Coordinator{
+		cfg:   cfg,
+		store: store,
+		ring:  NewRing(cfg.Replicas),
+		nodes: make(map[string]*node),
+		jobs:  make(map[string]*clusterJob),
+		seen:  make(map[string]bool),
+		stop:  make(chan struct{}),
+	}
+	for _, id := range store.IDs() {
+		co.seen[id] = true
+	}
+	for _, addr := range cfg.Workers {
+		co.addNode(addr)
+	}
+	co.wg.Add(3)
+	go co.healthLoop()
+	go co.pollLoop()
+	go co.antiEntropyLoop()
+	return co, nil
+}
+
+// Close stops the background loops and closes the replicated store.
+func (co *Coordinator) Close() error {
+	close(co.stop)
+	co.wg.Wait()
+	return co.store.Close()
+}
+
+// Store exposes the coordinator's replicated store (read-only use).
+func (co *Coordinator) Store() *service.Store { return co.store }
+
+// addNode registers addr (idempotent) and puts it on the ring as alive.
+func (co *Coordinator) addNode(addr string) {
+	addr = strings.TrimRight(addr, "/")
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if _, ok := co.nodes[addr]; ok {
+		if n := co.nodes[addr]; !n.alive {
+			n.alive = true
+			n.fails = 0
+			co.ring.Add(addr)
+		}
+		return
+	}
+	co.nodes[addr] = &node{addr: addr, client: newWorkerClient(addr, co.cfg), alive: true}
+	co.ring.Add(addr)
+}
+
+// markDead takes addr off the ring and re-routes its incomplete jobs to
+// their new ring owners. except names a job the caller is already
+// re-dispatching itself (avoids a double re-route from inside dispatch).
+func (co *Coordinator) markDead(addr, except string) {
+	co.mu.Lock()
+	n, ok := co.nodes[addr]
+	if !ok || !n.alive {
+		co.mu.Unlock()
+		return
+	}
+	n.alive = false
+	co.ring.Remove(addr)
+	var orphans []*clusterJob
+	for _, j := range co.jobs {
+		if j.Node == addr && !j.done && !j.inflight && j.ID != except {
+			orphans = append(orphans, j)
+		}
+	}
+	// Deterministic re-route order for a given failure.
+	sort.Slice(orphans, func(i, k int) bool { return orphans[i].ID < orphans[k].ID })
+	co.mu.Unlock()
+	for _, j := range orphans {
+		co.dispatch(j)
+	}
+}
+
+// dispatch sends job to its current ring owner, walking to the next owner
+// if the node dies mid-call. Re-sends are idempotent: the job keeps its
+// cluster ID, and a worker that already has it returns the existing run.
+// Returns the worker's HTTP status (0 when no worker answered) and error.
+func (co *Coordinator) dispatch(job *clusterJob) (int, error) {
+	co.mu.Lock()
+	if job.done || job.inflight {
+		co.mu.Unlock()
+		return 0, nil
+	}
+	job.inflight = true
+	co.mu.Unlock()
+	defer func() {
+		co.mu.Lock()
+		job.inflight = false
+		co.mu.Unlock()
+	}()
+
+	for {
+		co.mu.Lock()
+		if job.Dispatches >= co.cfg.MaxDispatches {
+			job.State = service.JobFailed
+			job.Err = fmt.Sprintf("exhausted %d dispatch attempts", job.Dispatches)
+			job.done = true
+			co.mu.Unlock()
+			return 0, errors.New(job.Err)
+		}
+		owner, ok := co.ring.Owner(job.ID)
+		if !ok {
+			job.State = service.JobFailed
+			job.Err = "no live worker nodes"
+			job.done = true
+			co.mu.Unlock()
+			return 0, errors.New(job.Err)
+		}
+		n := co.nodes[owner]
+		job.Node = owner
+		job.Dispatches++
+		req := job.Req
+		req.ID = job.ID
+		co.mu.Unlock()
+
+		view, status, err := n.client.submit(req)
+		if err == nil {
+			co.mu.Lock()
+			job.State = view.State
+			job.Scenario = view.Scenario
+			job.Seed = view.Seed
+			job.Err = view.Error
+			if view.State.Terminal() {
+				job.done = true
+			}
+			co.mu.Unlock()
+			return status, nil
+		}
+		if status != 0 {
+			// The node answered: the request itself was rejected (bad
+			// scenario, spent hold-out, queue full past retries). Re-routing
+			// to another node cannot fix the request.
+			co.mu.Lock()
+			job.State = service.JobFailed
+			job.Err = err.Error()
+			job.done = true
+			co.mu.Unlock()
+			return status, err
+		}
+		// Transport failure: the node is unreachable. Take it off the ring
+		// (re-routing its other jobs) and walk to this job's next owner.
+		co.markDead(owner, job.ID)
+	}
+}
+
+// healthLoop probes every node at HealthInterval, marking nodes dead
+// after HealthFailures consecutive failures and reviving nodes whose
+// probes recover.
+func (co *Coordinator) healthLoop() {
+	defer co.wg.Done()
+	t := time.NewTicker(co.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-co.stop:
+			return
+		case <-t.C:
+			co.probeOnce()
+		}
+	}
+}
+
+func (co *Coordinator) probeOnce() {
+	co.mu.Lock()
+	snapshot := make([]*node, 0, len(co.nodes))
+	for _, n := range co.nodes {
+		snapshot = append(snapshot, n)
+	}
+	co.mu.Unlock()
+	sort.Slice(snapshot, func(i, j int) bool { return snapshot[i].addr < snapshot[j].addr })
+	for _, n := range snapshot {
+		err := n.client.health()
+		co.mu.Lock()
+		cur, ok := co.nodes[n.addr]
+		if !ok || cur != n {
+			co.mu.Unlock()
+			continue // node left while we probed
+		}
+		if err == nil {
+			n.fails = 0
+			if !n.alive {
+				n.alive = true
+				co.ring.Add(n.addr)
+			}
+			co.mu.Unlock()
+			continue
+		}
+		n.fails++
+		dead := n.alive && n.fails >= co.cfg.HealthFailures
+		co.mu.Unlock()
+		if dead {
+			co.markDead(n.addr, "")
+		}
+	}
+}
+
+// pollLoop advances in-flight jobs at PollInterval.
+func (co *Coordinator) pollLoop() {
+	defer co.wg.Done()
+	t := time.NewTicker(co.cfg.PollInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-co.stop:
+			return
+		case <-t.C:
+			co.pollOnce()
+		}
+	}
+}
+
+func (co *Coordinator) pollOnce() {
+	type probe struct {
+		job    *clusterJob
+		addr   string
+		client *workerClient
+	}
+	co.mu.Lock()
+	var probes []probe
+	for _, j := range co.jobs {
+		if j.done || j.inflight || j.Node == "" {
+			continue
+		}
+		if n, ok := co.nodes[j.Node]; ok && n.alive {
+			probes = append(probes, probe{j, j.Node, n.client})
+		}
+	}
+	co.mu.Unlock()
+	sort.Slice(probes, func(i, j int) bool { return probes[i].job.ID < probes[j].job.ID })
+
+	for _, p := range probes {
+		view, status, err := p.client.jobStatus(p.job.ID)
+		if err != nil {
+			if status == http.StatusNotFound {
+				// The worker restarted and lost the job: re-dispatch (the
+				// cluster ID keeps it idempotent if the worker catches up).
+				co.dispatch(p.job)
+				continue
+			}
+			if !errors.Is(err, netdriver.ErrTransient) && status == 0 {
+				co.markDead(p.addr, "")
+			}
+			continue
+		}
+		co.mu.Lock()
+		if p.job.Node != p.addr || p.job.done {
+			co.mu.Unlock()
+			continue // re-routed or settled while we polled
+		}
+		p.job.State = view.State
+		p.job.Scenario = view.Scenario
+		p.job.Seed = view.Seed
+		p.job.Err = view.Error
+		terminalDone := view.State == service.JobDone
+		terminal := view.State.Terminal()
+		if terminal {
+			p.job.done = true
+		}
+		co.mu.Unlock()
+		if terminalDone {
+			// Pull this job's result entry right away so the merged
+			// leaderboard is fresh and the entry survives the worker dying
+			// between now and the next anti-entropy round.
+			co.pullEntries(p.addr, p.client, []string{p.job.ID})
+		}
+	}
+}
+
+// antiEntropyLoop replicates worker store entries the coordinator has not
+// seen, by jobID set difference, at AntiEntropyInterval.
+func (co *Coordinator) antiEntropyLoop() {
+	defer co.wg.Done()
+	t := time.NewTicker(co.cfg.AntiEntropyInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-co.stop:
+			return
+		case <-t.C:
+			co.pullAll()
+		}
+	}
+}
+
+// pullAll runs one anti-entropy round across all alive nodes.
+func (co *Coordinator) pullAll() {
+	co.mu.Lock()
+	snapshot := make([]*node, 0, len(co.nodes))
+	for _, n := range co.nodes {
+		if n.alive {
+			snapshot = append(snapshot, n)
+		}
+	}
+	co.mu.Unlock()
+	sort.Slice(snapshot, func(i, j int) bool { return snapshot[i].addr < snapshot[j].addr })
+	for _, n := range snapshot {
+		ids, err := n.client.storeIDs()
+		if err != nil {
+			continue // next round will retry; health loop handles dead nodes
+		}
+		co.mu.Lock()
+		missing := ids[:0:0]
+		for _, id := range ids {
+			if !co.seen[id] {
+				missing = append(missing, id)
+			}
+		}
+		co.mu.Unlock()
+		if len(missing) > 0 {
+			co.pullEntries(n.addr, n.client, missing)
+		}
+	}
+}
+
+// pullEntries copies the named store entries from one worker into the
+// coordinator's replicated store. An entry is marked seen only after its
+// Append succeeds, so a disk failure leaves it eligible for the next
+// round instead of silently dropped.
+func (co *Coordinator) pullEntries(addr string, client *workerClient, ids []string) {
+	entries, err := client.storeEntries(ids)
+	if err != nil && len(entries) == 0 {
+		return
+	}
+	for _, e := range entries {
+		co.mu.Lock()
+		dup := co.seen[e.JobID]
+		co.mu.Unlock()
+		if dup {
+			continue
+		}
+		if err := co.store.Append(e); err != nil {
+			continue
+		}
+		co.mu.Lock()
+		co.seen[e.JobID] = true
+		// A replicated entry settles its job as done even if a status poll
+		// never saw the terminal state (e.g. the worker died right after
+		// persisting).
+		if j, ok := co.jobs[e.JobID]; ok && !j.done {
+			j.State = service.JobDone
+			j.done = true
+			j.Err = ""
+		}
+		co.mu.Unlock()
+	}
+}
+
+// Submit assigns job a cluster ID and dispatches it to its ring owner.
+func (co *Coordinator) Submit(req service.JobRequest) (JobView, int, error) {
+	if req.ID != "" {
+		return JobView{}, http.StatusBadRequest, errors.New("cluster assigns job ids; submit without one")
+	}
+	co.mu.Lock()
+	co.nextID++
+	id := "c" + strconv.Itoa(co.nextID)
+	job := &clusterJob{ID: id, Req: req, State: service.JobQueued}
+	co.jobs[id] = job
+	co.order = append(co.order, id)
+	co.mu.Unlock()
+
+	status, err := co.dispatch(job)
+	co.mu.Lock()
+	view := job.view()
+	co.mu.Unlock()
+	return view, status, err
+}
+
+// Job returns the coordinator's cached view of one job.
+func (co *Coordinator) Job(id string) (JobView, bool) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	j, ok := co.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	return j.view(), true
+}
+
+// Jobs lists all jobs in submission order.
+func (co *Coordinator) Jobs() []JobView {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	out := make([]JobView, 0, len(co.order))
+	for _, id := range co.order {
+		out = append(out, co.jobs[id].view())
+	}
+	return out
+}
+
+// Join adds a worker node at runtime. Newly submitted jobs whose ring
+// position lands on it are routed there; existing placements stand.
+func (co *Coordinator) Join(addr string) error {
+	if addr == "" {
+		return errors.New("empty node addr")
+	}
+	co.addNode(addr)
+	return nil
+}
+
+// Leave removes a worker node gracefully: its store entries are pulled
+// one final time, its incomplete jobs re-routed, and the node forgotten.
+func (co *Coordinator) Leave(addr string) error {
+	addr = strings.TrimRight(addr, "/")
+	co.mu.Lock()
+	n, ok := co.nodes[addr]
+	co.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("unknown node %q", addr)
+	}
+	if n.alive {
+		// Final catch-up while the node is still reachable.
+		if ids, err := n.client.storeIDs(); err == nil {
+			co.mu.Lock()
+			missing := ids[:0:0]
+			for _, id := range ids {
+				if !co.seen[id] {
+					missing = append(missing, id)
+				}
+			}
+			co.mu.Unlock()
+			if len(missing) > 0 {
+				co.pullEntries(addr, n.client, missing)
+			}
+		}
+	}
+	co.markDead(addr, "")
+	co.mu.Lock()
+	delete(co.nodes, addr)
+	co.mu.Unlock()
+	return nil
+}
+
+// NodeView is one worker's row in GET /v1/cluster.
+type NodeView struct {
+	Addr  string `json:"addr"`
+	Alive bool   `json:"alive"`
+	Fails int    `json:"fails"`
+	Jobs  int    `json:"jobs"` // jobs currently placed on this node
+}
+
+// ClusterView is the GET /v1/cluster topology document.
+type ClusterView struct {
+	Nodes      []NodeView `json:"nodes"`
+	Jobs       int        `json:"jobs"`
+	Replicated int        `json:"replicated"` // entries in the merged store
+}
+
+// View snapshots cluster topology.
+func (co *Coordinator) View() ClusterView {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	perNode := make(map[string]int)
+	for _, j := range co.jobs {
+		if j.Node != "" {
+			perNode[j.Node]++
+		}
+	}
+	addrs := make([]string, 0, len(co.nodes))
+	for a := range co.nodes {
+		addrs = append(addrs, a)
+	}
+	sort.Strings(addrs)
+	v := ClusterView{Jobs: len(co.jobs), Replicated: len(co.seen)}
+	for _, a := range addrs {
+		n := co.nodes[a]
+		v.Nodes = append(v.Nodes, NodeView{Addr: a, Alive: n.alive, Fails: n.fails, Jobs: perNode[a]})
+	}
+	return v
+}
+
+// Leaderboard runs a final anti-entropy round and ranks SUTs on the
+// merged cluster-wide store.
+func (co *Coordinator) Leaderboard(scenario, metric string) ([]service.Row, error) {
+	co.pullAll()
+	return service.Leaderboard(co.store.Entries(), scenario, metric)
+}
+
+// Result proxies a done job's full result JSON from its owner worker.
+func (co *Coordinator) Result(id string) (json.RawMessage, int, error) {
+	co.mu.Lock()
+	j, ok := co.jobs[id]
+	if !ok {
+		co.mu.Unlock()
+		return nil, http.StatusNotFound, fmt.Errorf("unknown job %q", id)
+	}
+	addr := j.Node
+	n, live := co.nodes[addr]
+	co.mu.Unlock()
+	if !live || !n.alive {
+		return nil, http.StatusServiceUnavailable, fmt.Errorf("job %q's node %q is not reachable", id, addr)
+	}
+	return n.client.jobResult(id)
+}

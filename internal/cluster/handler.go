@@ -1,0 +1,135 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+
+	"repro/internal/service"
+)
+
+// Handler returns the coordinator's HTTP surface:
+//
+//	POST /v1/jobs            submit (the coordinator assigns the cluster ID)
+//	GET  /v1/jobs            list jobs with placement
+//	GET  /v1/jobs/{id}        cached job view
+//	GET  /v1/jobs/{id}/result full result JSON, proxied from the owner
+//	GET  /v1/results          merged replicated store entries
+//	GET  /v1/leaderboard      cluster-wide ranking (?scenario=&metric=)
+//	GET  /v1/cluster          topology: nodes, liveness, placements
+//	POST /v1/cluster/join     add a worker  {"addr": "http://host:port"}
+//	POST /v1/cluster/leave    remove a worker gracefully
+//	GET  /healthz             liveness
+func (co *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("POST /v1/jobs", co.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"jobs": co.Jobs()})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		view, ok := co.Job(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown job")
+			return
+		}
+		writeJSON(w, http.StatusOK, view)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/result", co.handleResult)
+	mux.HandleFunc("GET /v1/results", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"results": co.store.Entries()})
+	})
+	mux.HandleFunc("GET /v1/leaderboard", co.handleLeaderboard)
+	mux.HandleFunc("GET /v1/cluster", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, co.View())
+	})
+	mux.HandleFunc("POST /v1/cluster/join", co.handleMembership(co.Join))
+	mux.HandleFunc("POST /v1/cluster/leave", co.handleMembership(co.Leave))
+	return mux
+}
+
+func (co *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req service.JobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad job request: "+err.Error())
+		return
+	}
+	view, status, err := co.Submit(req)
+	if err != nil {
+		// Relay a worker's own rejection status; anything the cluster
+		// could not place at all is a 503.
+		if status < 400 {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, map[string]any{"error": err.Error(), "job": view})
+		return
+	}
+	// 200 means a worker deduped a re-dispatched ID; a fresh submit is 202.
+	if status != http.StatusOK {
+		status = http.StatusAccepted
+	}
+	writeJSON(w, status, view)
+}
+
+func (co *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	raw, status, err := co.Result(r.PathValue("id"))
+	if err != nil {
+		if status < 400 {
+			status = http.StatusBadGateway
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(raw)
+}
+
+func (co *Coordinator) handleLeaderboard(w http.ResponseWriter, r *http.Request) {
+	scenario := r.URL.Query().Get("scenario")
+	if scenario == "" {
+		writeError(w, http.StatusBadRequest, "missing ?scenario=")
+		return
+	}
+	rows, err := co.Leaderboard(scenario, r.URL.Query().Get("metric"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"scenario": scenario, "rows": rows})
+}
+
+// handleMembership adapts Join/Leave to the POST body {"addr": "..."}.
+// (Join/leave take the addr in a JSON body, not the URL path — worker
+// addresses are URLs themselves and do not nest in a path segment.)
+func (co *Coordinator) handleMembership(op func(string) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var body struct {
+			Addr string `json:"addr"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil || strings.TrimSpace(body.Addr) == "" {
+			writeError(w, http.StatusBadRequest, `body must be {"addr": "http://host:port"}`)
+			return
+		}
+		if err := op(strings.TrimSpace(body.Addr)); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, co.View())
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

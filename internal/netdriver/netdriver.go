@@ -8,7 +8,17 @@
 // allocation, no framing ambiguity):
 //
 //	request:  opType u8 | key u64 | value u64 | scanLimit u32   (21 bytes)
-//	response: found u8  | visited u32 | work u64                (13 bytes)
+//	response: flags u8  | visited u32 | work u64                (13 bytes)
+//
+// Batches ship one opBatchBegin header (count u64, per-session sequence
+// number u64) followed by count request frames; the server answers a
+// sequence-numbered batch with a tagged response — one header frame
+// (batchRespMark u8 | count u32 | seq u64) plus count response frames in
+// a single flush. The sequence number makes batch retries idempotent: a
+// re-sent batch (same seq) replays the server's cached answer instead of
+// re-executing, and the client uses the response tags to discard delayed
+// duplicate answers without desyncing the stream. A zero seq selects the
+// legacy untagged path.
 //
 // All integers are big-endian.
 package netdriver
@@ -104,6 +114,14 @@ const (
 	// maxWireBatch bounds a batch frame count so a corrupt or malicious
 	// header cannot force an unbounded allocation server-side.
 	maxWireBatch = 1 << 16
+
+	// maxLoadPrealloc bounds how many key/value pairs a load header may
+	// pre-size server-side buffers for. Loads larger than this still work —
+	// the buffers grow as pair data actually arrives — but a corrupt or
+	// malicious header alone can no longer force an unbounded allocation
+	// (the opBatchBegin bound, adapted to a stream whose length is
+	// legitimately unbounded).
+	maxLoadPrealloc = 1 << 16
 )
 
 // Server exposes a SUT factory over TCP. Each accepted connection gets a
@@ -113,8 +131,6 @@ type Server struct {
 	factory func() core.SUT
 	opts    Options
 	wg      sync.WaitGroup
-	mu      sync.Mutex
-	closed  bool
 }
 
 // Serve starts a server on addr (e.g. "127.0.0.1:0") and returns it. The
@@ -143,9 +159,6 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 
 // Close stops accepting and waits for in-flight connections.
 func (s *Server) Close() error {
-	s.mu.Lock()
-	s.closed = true
-	s.mu.Unlock()
 	err := s.ln.Close()
 	s.wg.Wait()
 	return err
@@ -185,6 +198,14 @@ const (
 	respFailed = 1 << 1
 )
 
+// batchRespMark tags the header frame of a sequence-numbered batch
+// response: marker u8 | n u32 | seq u64 (one respSize frame). Result
+// frames only ever use the low flag bits, so the marker cannot collide.
+// The header lets the client match a response stream to the batch it sent
+// and drain stale duplicates (the delayed answer of a batch it already
+// retried) instead of desyncing on them.
+const batchRespMark = 0xFE
+
 // encodeResult encodes an op result into a response frame.
 func encodeResult(resp []byte, res core.OpResult) {
 	resp[0] = 0
@@ -216,6 +237,14 @@ func (s *Server) handle(raw net.Conn) {
 	w := bufio.NewWriterSize(conn, 1<<16)
 	req := make([]byte, reqSize)
 	resp := make([]byte, respSize)
+	// Duplicate-batch detection: the last executed batch's sequence number
+	// and its encoded response frames. A re-sent batch (same non-zero seq)
+	// means the client timed out waiting for a response that was delayed or
+	// lost *after* execution — replaying the cached frames instead of
+	// re-executing keeps retried Puts from double-applying. At most
+	// maxWireBatch*respSize (~832 KiB) per connection.
+	var lastSeq uint64
+	var lastResp []byte
 	for {
 		if _, err := io.ReadFull(r, req); err != nil {
 			return
@@ -227,6 +256,7 @@ func (s *Server) handle(raw net.Conn) {
 			return
 		case opBatchBegin:
 			n := binary.BigEndian.Uint64(req[1:9])
+			seq := binary.BigEndian.Uint64(req[9:17])
 			if n == 0 || n > maxWireBatch {
 				return
 			}
@@ -237,11 +267,53 @@ func (s *Server) handle(raw net.Conn) {
 				}
 				ops[i] = decodeOp(req)
 			}
+			if seq != 0 && seq == lastSeq {
+				// A duplicate must re-send the identical batch; a size
+				// mismatch means the stream desynced beyond repair.
+				if (int(n)+1)*respSize != len(lastResp) {
+					return
+				}
+				if _, err := w.Write(lastResp); err != nil {
+					return
+				}
+				if err := w.Flush(); err != nil {
+					return
+				}
+				continue
+			}
 			results := make([]core.OpResult, n)
 			// Native batch implementations (the index adapters' sorted
 			// lookup runs) kick in here; plain SUTs fall back to
 			// sequential dispatch.
 			bsut.DoBatch(ops, results)
+			if seq != 0 {
+				// Sequence-numbered batch: build the tagged response
+				// (header + frames), cache it for duplicate replay, and
+				// send it in one write.
+				lastSeq = seq
+				if need := (int(n) + 1) * respSize; cap(lastResp) < need {
+					lastResp = make([]byte, 0, need)
+				}
+				lastResp = lastResp[:0]
+				var hdr [respSize]byte
+				hdr[0] = batchRespMark
+				binary.BigEndian.PutUint32(hdr[1:5], uint32(n))
+				binary.BigEndian.PutUint64(hdr[5:13], seq)
+				lastResp = append(lastResp, hdr[:]...)
+				for _, res := range results {
+					encodeResult(resp, res)
+					lastResp = append(lastResp, resp...)
+				}
+				if _, err := w.Write(lastResp); err != nil {
+					return
+				}
+				if err := w.Flush(); err != nil {
+					return
+				}
+				continue
+			}
+			// Legacy un-sequenced batch: bare result frames, no replay
+			// protection (pre-seq clients).
 			for _, res := range results {
 				encodeResult(resp, res)
 				if _, err := w.Write(resp); err != nil {
@@ -255,15 +327,22 @@ func (s *Server) handle(raw net.Conn) {
 			}
 		case opLoadBegin:
 			n := binary.BigEndian.Uint64(req[1:9])
-			keys := make([]uint64, n)
-			values := make([]uint64, n)
+			// Pre-size only up to maxLoadPrealloc pairs: beyond that the
+			// buffers grow with the data actually received, so the header
+			// cannot force an allocation the peer never backs with bytes.
+			hint := n
+			if hint > maxLoadPrealloc {
+				hint = maxLoadPrealloc
+			}
+			keys := make([]uint64, 0, hint)
+			values := make([]uint64, 0, hint)
 			pair := make([]byte, 16)
 			for i := uint64(0); i < n; i++ {
 				if _, err := io.ReadFull(r, pair); err != nil {
 					return
 				}
-				keys[i] = binary.BigEndian.Uint64(pair[0:8])
-				values[i] = binary.BigEndian.Uint64(pair[8:16])
+				keys = append(keys, binary.BigEndian.Uint64(pair[0:8]))
+				values = append(values, binary.BigEndian.Uint64(pair[8:16]))
 			}
 			sut.Load(keys, values)
 			// Ack with an empty response frame.
@@ -307,6 +386,11 @@ type Client struct {
 	// scratch buffers batch frames so a whole batch goes out in one
 	// write and comes back in one read loop (DoBatch).
 	scratch []byte
+
+	// batchSeq numbers this session's batch chunks (1, 2, …). A retry
+	// re-sends the same number, letting the server detect the duplicate
+	// and replay its cached answer instead of re-executing the ops.
+	batchSeq uint64
 
 	// Retry state: transient failures (ErrTransient — a presumed-lost
 	// frame) are re-sent up to maxRetries times with capped exponential
@@ -506,6 +590,7 @@ func (c *Client) doBatchChunk(ops []workload.Op, out []core.OpResult) {
 		}
 		return
 	}
+	c.batchSeq++
 	need := reqSize * (1 + len(ops))
 	if cap(c.scratch) < need {
 		c.scratch = make([]byte, need)
@@ -514,6 +599,7 @@ func (c *Client) doBatchChunk(ops []workload.Op, out []core.OpResult) {
 	var hdr [reqSize]byte
 	hdr[0] = opBatchBegin
 	binary.BigEndian.PutUint64(hdr[1:9], uint64(len(ops)))
+	binary.BigEndian.PutUint64(hdr[9:17], c.batchSeq)
 	buf = append(buf, hdr[:]...)
 	for _, op := range ops {
 		var f [reqSize]byte
@@ -531,32 +617,64 @@ func (c *Client) doBatchChunk(ops []workload.Op, out []core.OpResult) {
 			}
 			return
 		}
-		for i := range ops {
-			_, err := io.ReadFull(c.r, c.resp[:])
-			if err == nil {
-				out[i] = decodeResult(c.resp[:])
-				continue
-			}
-			we := wireErr("batch response", err)
-			// Retry only when no response frame arrived at all: the whole
-			// batch write was lost (lost-request semantics). A timeout
-			// mid-batch means the stream itself broke — re-sending would
-			// desync it.
-			if i == 0 && we.Class == ErrTransient && attempt < c.maxRetries {
-				c.retries++
-				c.backoff(attempt)
-				goto retry
-			}
-			if c.err == nil {
-				c.err = we
-			}
-			for ; i < len(ops); i++ {
-				out[i] = core.OpResult{}
-			}
+		atHeader, err := c.readBatchResponse(c.batchSeq, out[:len(ops)])
+		if err == nil {
 			return
 		}
+		we := wireErr("batch response", err)
+		// Re-send only when the failure struck at a response-stream
+		// boundary (the stream still frame-aligned). The sequence number
+		// makes the re-send safe either way: if the batch never arrived
+		// the server executes it now; if it did arrive (the response was
+		// delayed or lost, not the request), the server recognizes the
+		// duplicate and replays its cached answer without re-executing.
+		if atHeader && we.Class == ErrTransient && attempt < c.maxRetries {
+			c.retries++
+			c.backoff(attempt)
+			continue
+		}
+		if c.err == nil {
+			c.err = we
+		}
+		for i := range out[:len(ops)] {
+			out[i] = core.OpResult{}
+		}
 		return
-	retry:
+	}
+}
+
+// readBatchResponse reads tagged batch response streams until the one
+// numbered seq arrives, decoding its frames into out. A stale duplicate —
+// the delayed answer of an earlier batch this session already resolved
+// through a retry — is drained and discarded by its header instead of
+// desyncing the stream. atHeader reports whether a failure struck at a
+// header boundary, where the stream is still frame-aligned and a re-send
+// is safe.
+func (c *Client) readBatchResponse(seq uint64, out []core.OpResult) (atHeader bool, err error) {
+	for {
+		if _, err := io.ReadFull(c.r, c.resp[:]); err != nil {
+			return true, err
+		}
+		if c.resp[0] != batchRespMark {
+			return false, fmt.Errorf("batch response desync: marker %#x, want %#x", c.resp[0], batchRespMark)
+		}
+		n := int(binary.BigEndian.Uint32(c.resp[1:5]))
+		got := binary.BigEndian.Uint64(c.resp[5:13])
+		if got > seq || n > maxWireBatch || (got == seq && n != len(out)) {
+			return false, fmt.Errorf("batch response desync: got seq %d (%d frames), want seq %d (%d frames)",
+				got, n, seq, len(out))
+		}
+		for i := 0; i < n; i++ {
+			if _, err := io.ReadFull(c.r, c.resp[:]); err != nil {
+				return false, err
+			}
+			if got == seq {
+				out[i] = decodeResult(c.resp[:])
+			}
+		}
+		if got == seq {
+			return false, nil
+		}
 	}
 }
 

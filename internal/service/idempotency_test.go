@@ -1,0 +1,129 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestSubmitDuplicateIDIdempotent is the cluster dispatch contract: a
+// re-submitted job ID returns the existing job (200) instead of enqueuing
+// a second run, so a coordinator re-sending after an ambiguous failure
+// cannot double-execute a benchmark.
+func TestSubmitDuplicateIDIdempotent(t *testing.T) {
+	_, ts := newTestService(t, Config{Workers: 2})
+	body := fmt.Sprintf(`{"id":"c42","sut":"btree","seed":3,"spec":%s}`, detSpec)
+
+	code, data := postJSON(t, ts.URL+"/v1/jobs", body)
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit: status %d: %s", code, data)
+	}
+	var first JobView
+	if err := json.Unmarshal(data, &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.ID != "c42" {
+		t.Fatalf("external ID not honored: got %q", first.ID)
+	}
+
+	code, data = postJSON(t, ts.URL+"/v1/jobs", body)
+	if code != http.StatusOK {
+		t.Fatalf("duplicate submit: status %d, want 200 (dedup): %s", code, data)
+	}
+	var second JobView
+	if err := json.Unmarshal(data, &second); err != nil {
+		t.Fatal(err)
+	}
+	if second.ID != "c42" {
+		t.Fatalf("duplicate answered with job %q, want c42", second.ID)
+	}
+
+	waitState(t, ts, "c42", JobDone)
+
+	// Exactly one run happened: one job listed, one stored result.
+	code, data = get(t, ts.URL+"/v1/jobs")
+	if code != http.StatusOK {
+		t.Fatalf("list: %d", code)
+	}
+	var list struct {
+		Jobs []JobView `json:"jobs"`
+	}
+	if err := json.Unmarshal(data, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Jobs) != 1 {
+		t.Fatalf("duplicate ID created %d jobs, want 1: %+v", len(list.Jobs), list.Jobs)
+	}
+
+	// Auto-assigned IDs must not collide with externally taken names.
+	auto := submit(t, ts, fmt.Sprintf(`{"sut":"rmi","seed":3,"spec":%s}`, detSpec))
+	if auto.ID == "c42" {
+		t.Fatalf("auto ID collided with external ID")
+	}
+}
+
+// TestSubmitBadExternalID rejects IDs that would break URLs or the store.
+func TestSubmitBadExternalID(t *testing.T) {
+	_, ts := newTestService(t, Config{Workers: 1})
+	for _, id := range []string{"a/b", "a b", strings.Repeat("x", 200)} {
+		body := fmt.Sprintf(`{"id":%q,"sut":"btree","seed":3,"spec":%s}`, id, detSpec)
+		code, data := postJSON(t, ts.URL+"/v1/jobs", body)
+		if code != http.StatusBadRequest {
+			t.Fatalf("id %q: status %d, want 400: %s", id, code, data)
+		}
+	}
+}
+
+// TestStoreEndpoints exercises the anti-entropy pull surface: the ID list
+// diff set and the selective entry fetch.
+func TestStoreEndpoints(t *testing.T) {
+	_, ts := newTestService(t, Config{Workers: 2})
+	for _, sut := range []string{"btree", "rmi"} {
+		v := submit(t, ts, fmt.Sprintf(`{"sut":%q,"seed":3,"spec":%s}`, sut, detSpec))
+		waitState(t, ts, v.ID, JobDone)
+	}
+
+	code, data := get(t, ts.URL+"/v1/store/ids")
+	if code != http.StatusOK {
+		t.Fatalf("store ids: %d: %s", code, data)
+	}
+	var ids struct {
+		IDs []string `json:"ids"`
+	}
+	if err := json.Unmarshal(data, &ids); err != nil {
+		t.Fatal(err)
+	}
+	if len(ids.IDs) != 2 {
+		t.Fatalf("store ids = %v, want 2", ids.IDs)
+	}
+
+	// Selective fetch returns exactly the asked-for entry; unknown IDs are
+	// skipped, not errors (the puller's view may be ahead of this node).
+	code, data = get(t, ts.URL+"/v1/store/entries?ids="+ids.IDs[1]+",nope")
+	if code != http.StatusOK {
+		t.Fatalf("store entries: %d: %s", code, data)
+	}
+	var page struct {
+		Entries []Entry `json:"entries"`
+	}
+	if err := json.Unmarshal(data, &page); err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Entries) != 1 || page.Entries[0].JobID != ids.IDs[1] {
+		t.Fatalf("selective fetch got %+v, want just %s", page.Entries, ids.IDs[1])
+	}
+
+	// No filter means the full store.
+	code, data = get(t, ts.URL+"/v1/store/entries")
+	if code != http.StatusOK {
+		t.Fatalf("store entries (all): %d", code)
+	}
+	if err := json.Unmarshal(data, &page); err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Entries) != 2 {
+		t.Fatalf("full fetch got %d entries, want 2", len(page.Entries))
+	}
+}

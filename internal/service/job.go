@@ -24,8 +24,8 @@ const (
 	JobTimeout JobState = "timeout"
 )
 
-// terminal reports whether the state is final.
-func (s JobState) terminal() bool {
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
 	return s == JobDone || s == JobFailed || s == JobCanceled || s == JobTimeout
 }
 
@@ -33,6 +33,12 @@ func (s JobState) terminal() bool {
 // from the service catalog), Holdout (a sealed hold-out name), or Spec
 // (an inline internal/config scenario document) selects what to run.
 type JobRequest struct {
+	// ID, when set, names the job instead of the service's auto-assigned
+	// "jN" counter — the hook cluster coordinators use to dispatch with
+	// their own cluster-wide IDs. Submitting a duplicate ID returns the
+	// existing job (200, not 202) instead of enqueuing a second run, so
+	// re-dispatch after an ambiguous failure is idempotent.
+	ID string `json:"id,omitempty"`
 	// SUT names the system under test (see GET /v1/suts).
 	SUT string `json:"sut"`
 	// Scenario names a catalog scenario (see GET /v1/scenarios).

@@ -104,7 +104,7 @@ func waitState(t *testing.T, ts *httptest.Server, id string, want JobState) JobV
 		if v.State == want {
 			return v
 		}
-		if v.State.terminal() {
+		if v.State.Terminal() {
 			t.Fatalf("job %s reached terminal state %s (err %q), want %s", id, v.State, v.Error, want)
 		}
 		time.Sleep(5 * time.Millisecond)
@@ -268,7 +268,7 @@ func TestHoldoutSingleAttempt(t *testing.T) {
 			}
 			break
 		}
-		if v.State.terminal() {
+		if v.State.Terminal() {
 			t.Fatalf("second attempt ended %s, want failed", v.State)
 		}
 		if time.Now().After(deadline) {

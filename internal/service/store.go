@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"sync"
 
@@ -24,15 +25,20 @@ type Entry struct {
 // and fsynced per entry; reload tolerates a torn final line (a crash
 // mid-append), so restarting the service recovers every completed run.
 type Store struct {
-	mu      sync.Mutex
-	f       *os.File // nil for an in-memory store
+	mu sync.Mutex
+	f  *os.File // nil for an in-memory store
+	// size is the durable byte length: the offset just past the last
+	// acknowledged entry. A failed append truncates back to it so disk
+	// and the in-memory view never diverge.
+	size    int64
+	fsync   func(*os.File) error // swapped by tests to inject sync failures
 	entries []Entry
 }
 
 // OpenStore opens (or creates) the store at path, reloading existing
 // entries. An empty path yields a volatile in-memory store.
 func OpenStore(path string) (*Store, error) {
-	st := &Store{}
+	st := &Store{fsync: (*os.File).Sync}
 	if path == "" {
 		return st, nil
 	}
@@ -71,16 +77,20 @@ func OpenStore(path string) (*Store, error) {
 		f.Close()
 		return nil, fmt.Errorf("service: store truncate: %w", err)
 	}
-	if _, err := f.Seek(good, 0); err != nil {
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("service: store seek: %w", err)
 	}
 	st.f = f
+	st.size = good
 	return st, nil
 }
 
 // Append persists one entry (one JSON line, fsynced) and adds it to the
-// in-memory view.
+// in-memory view. On any write or sync failure the partial line is rolled
+// back (truncated away) and the entry is NOT added to memory: a failed
+// Append leaves no trace, so a restart cannot resurrect an entry that
+// Entries() never reported.
 func (st *Store) Append(e Entry) error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -91,14 +101,39 @@ func (st *Store) Append(e Entry) error {
 		}
 		b = append(b, '\n')
 		if _, err := st.f.Write(b); err != nil {
+			st.rollback()
 			return fmt.Errorf("service: store append: %w", err)
 		}
-		if err := st.f.Sync(); err != nil {
+		if err := st.fsync(st.f); err != nil {
+			// The line may have reached disk even though the sync failed;
+			// without the rollback a restart would reload it while this
+			// process never reported it.
+			st.rollback()
 			return fmt.Errorf("service: store sync: %w", err)
 		}
+		st.size += int64(len(b))
 	}
 	st.entries = append(st.entries, e)
 	return nil
+}
+
+// rollback truncates the file back to the last acknowledged entry after a
+// failed append. Best-effort: if the truncate itself fails too, the
+// reload's torn-tail repair is the remaining safety net.
+func (st *Store) rollback() {
+	st.f.Truncate(st.size)
+	st.f.Seek(st.size, io.SeekStart)
+}
+
+// IDs returns the JobIDs of all entries in append order.
+func (st *Store) IDs() []string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]string, len(st.entries))
+	for i, e := range st.entries {
+		out[i] = e.JobID
+	}
+	return out
 }
 
 // Entries returns a snapshot of all entries in append order.

@@ -125,3 +125,54 @@ func TestStoreInMemory(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestStoreAppendSyncFailureRollsBack injects an fsync failure and checks
+// the failed entry leaves no trace: not in memory, and — because the
+// partial line is truncated away — not resurrected by a reload either,
+// even though its bytes may have reached the file before the sync failed.
+func TestStoreAppendSyncFailureRollsBack(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.jsonl")
+	st, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(testEntry("j1", "s", "btree", 100)); err != nil {
+		t.Fatal(err)
+	}
+
+	injected := false
+	st.fsync = func(*os.File) error { injected = true; return os.ErrInvalid }
+	if err := st.Append(testEntry("j2", "s", "rmi", 200)); err == nil {
+		t.Fatal("append with failing fsync did not error")
+	}
+	if !injected {
+		t.Fatal("fsync hook never ran")
+	}
+	if st.Len() != 1 {
+		t.Fatalf("failed append left %d entries in memory, want 1", st.Len())
+	}
+
+	// The store stays usable once the disk recovers.
+	st.fsync = (*os.File).Sync
+	if err := st.Append(testEntry("j3", "s", "art", 300)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	got := st2.Entries()
+	if len(got) != 2 || got[0].JobID != "j1" || got[1].JobID != "j3" {
+		t.Fatalf("reload after sync failure got %+v, want [j1 j3]", got)
+	}
+	for _, e := range got {
+		if e.JobID == "j2" {
+			t.Fatal("rolled-back entry j2 resurrected by reload")
+		}
+	}
+}
