@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race race test-cluster check cover bench bench-smoke bench-baseline bench-check figures examples clean
+.PHONY: all build vet test test-race race test-cluster test-disk check cover bench bench-smoke bench-baseline bench-check figures examples clean
 
 all: check
 
@@ -27,6 +27,14 @@ race: test-race
 # anti-entropy loops are genuinely concurrent with dispatch.
 test-cluster:
 	$(GO) test -race -count=1 ./internal/cluster/ ./internal/service/ ./internal/netdriver/
+
+# The storage tier: slotted-page pager, buffer pool + eviction policies,
+# paged B+ tree, disk LSM, pool tuning, and the Fig 1f panel, under the
+# race detector (the crash-safety suites hammer the same pool the figure
+# runs fan out over).
+test-disk:
+	$(GO) test -race -count=1 ./internal/pager/ ./internal/index/diskbtree/ ./internal/kv/ ./internal/tuner/
+	$(GO) test -race -count=1 -run 'TestFig1f' ./internal/figures/
 
 # check is the full local CI gate: build, vet, tier-1 tests, race tier.
 check: build vet test test-race

@@ -23,8 +23,11 @@ import (
 	"repro/internal/figures"
 	"repro/internal/index/alex"
 	"repro/internal/index/btree"
+	"repro/internal/index/diskbtree"
 	"repro/internal/index/rmi"
+	"repro/internal/kv"
 	"repro/internal/learnedsort"
+	"repro/internal/pager"
 	"repro/internal/quality"
 	"repro/internal/similarity"
 	"repro/internal/synth"
@@ -391,6 +394,91 @@ func BenchmarkMicroStdSort(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		copy(buf, src)
 		learnedsort.StdSort(buf)
+	}
+}
+
+// BenchmarkFig1fStorage regenerates Figure 1f: the storage-tier panel
+// (cold-cache policy shootout, pool-size sweep, write-heavy compaction).
+func BenchmarkFig1fStorage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := figures.Fig1f(benchScale(), 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lo, hi := 1.0, 0.0
+		for _, c := range res.Cold {
+			if c.HitRatio < lo {
+				lo = c.HitRatio
+			}
+			if c.HitRatio > hi {
+				hi = c.HitRatio
+			}
+		}
+		b.ReportMetric((hi-lo)*100, "cold-policy-gap-pct")
+		b.ReportMetric(res.IOBound[len(res.IOBound)-1].Throughput/res.IOBound[0].Throughput, "pool-sweep-speedup")
+		for _, p := range res.WriteHeavy {
+			if p.SUT == "disk-btree" {
+				b.ReportMetric(float64(p.PagesWritten), "btree-pages-written")
+			}
+		}
+	}
+}
+
+// --- Disk storage-tier micro-benchmarks -----------------------------------
+
+// newBenchPool builds an in-memory page file under a pool of the given
+// configuration, failing the benchmark on error.
+func newBenchPool(b *testing.B, knobs pager.PoolKnobs) *pager.Pool {
+	b.Helper()
+	f, err := pager.Create(pager.NewMemBackend())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pager.NewPool(f, knobs)
+}
+
+// BenchmarkDiskBTreeGet measures point lookups through the paged B+ tree:
+// warm = a pool big enough to hold the whole tree (pure CPU + pool
+// bookkeeping), cold = a small pool thrashing on random access (every
+// lookup pays backend page reads).
+func BenchmarkDiskBTreeGet(b *testing.B) {
+	keys, vals := loadedKeys(200_000)
+	run := func(b *testing.B, knobs pager.PoolKnobs, drop bool) {
+		pool := newBenchPool(b, knobs)
+		tr := diskbtree.New(pool)
+		tr.BulkLoad(keys, vals)
+		if drop {
+			if err := pool.Checkpoint(); err != nil {
+				b.Fatal(err)
+			}
+			if err := pool.DropCache(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr.Get(keys[(i*16777619)%len(keys)])
+		}
+	}
+	b.Run("warm", func(b *testing.B) {
+		run(b, pager.PoolKnobs{Pages: 4096, Policy: "lru"}, false)
+	})
+	b.Run("cold", func(b *testing.B) {
+		run(b, pager.PoolKnobs{Pages: 64, Policy: "lru"}, true)
+	})
+}
+
+// BenchmarkDiskLSMPut measures the disk LSM write path end to end:
+// memtable inserts, run-file flushes through the pager, and size-tiered
+// compaction rewrites.
+func BenchmarkDiskLSMPut(b *testing.B) {
+	store, err := kv.OpenDisk(newBenchPool(b, pager.PoolKnobs{Pages: 256, Policy: "lru"}), kv.DefaultKnobs())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		store.Put(uint64(i)*2654435761, uint64(i))
 	}
 }
 

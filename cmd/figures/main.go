@@ -44,6 +44,7 @@ func panels() []panel {
 		{"fig1c", runFig1c},
 		{"fig1d", runFig1d},
 		{"fig1e", runFig1e},
+		{"fig1f", runFig1f},
 		{"lessons", runLessons},
 		{"optdrift", runOptDrift},
 		{"ablations", runAblations},
@@ -56,7 +57,7 @@ func main() {
 	var (
 		scaleName = flag.String("scale", "small", "experiment scale: small or full")
 		seed      = flag.Uint64("seed", 42, "base random seed")
-		only      = flag.String("only", "", "comma-separated subset: fig1a,fig1aw,fig1b,fig1c,fig1d,fig1e,lessons,optdrift,ablations,cache,sched")
+		only      = flag.String("only", "", "comma-separated subset: fig1a,fig1aw,fig1b,fig1c,fig1d,fig1e,fig1f,lessons,optdrift,ablations,cache,sched")
 		csvDir    = flag.String("csv", "", "directory for CSV series")
 		parallelN = flag.Int("parallel", 0, "max concurrent experiment runs (0 = GOMAXPROCS, 1 = serial); output is byte-identical at any setting")
 		batchN    = flag.Int("batch", 0, "op-dispatch batch size for the virtual runner (0/1 = per-op); output is byte-identical at any setting")
@@ -324,6 +325,23 @@ func runFig1e(w io.Writer, scale figures.Scale, seed uint64, csvDir string) erro
 					rec.BaselineViolationRate, rec.PeakViolationRate,
 					rec.TimeToRecoverNs, rec.Recovered, rep.Crashes, rep.CrashRetrainWork)
 			}
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runFig1f(w io.Writer, scale figures.Scale, seed uint64, csvDir string) error {
+	section(w, "Figure 1f — storage tier: buffer pool, eviction policy, and compaction")
+	res, err := figures.Fig1f(scale, seed)
+	if err != nil {
+		return err
+	}
+	figures.RenderFig1f(w, res)
+	if csvDir != "" {
+		if err := writeCSV(filepath.Join(csvDir, "fig1f.csv"), func(f *os.File) {
+			figures.Fig1fCSV(f, res)
 		}); err != nil {
 			return err
 		}

@@ -35,8 +35,10 @@ import (
 	"repro/internal/core"
 	"repro/internal/driver"
 	"repro/internal/fault"
+	"repro/internal/kv"
 	"repro/internal/metrics"
 	"repro/internal/netdriver"
+	"repro/internal/pager"
 	"repro/internal/report"
 	"repro/internal/sim"
 )
@@ -69,13 +71,15 @@ const exampleConfig = `{
 func main() {
 	var (
 		configPath = flag.String("config", "", "path to the scenario JSON config")
-		suts       = flag.String("suts", "btree,rmi,alex", "comma-separated SUTs: btree,hash,rmi,alex,kvstore")
+		suts       = flag.String("suts", "btree,rmi,alex", "comma-separated SUTs: btree,hash,rmi,alex,kvstore,disk-btree,disk-lsm")
 		csvDir     = flag.String("csv", "", "directory to write per-figure CSV files into")
 		example    = flag.Bool("example", false, "print an example config and exit")
 		remote     = flag.String("remote", "", "address of a lsbenchd netdriver server (real-time mode)")
 		workers    = flag.Int("workers", 4, "driver workers in -remote mode")
 		batch      = flag.Int("batch", 0, "op-dispatch batch size (0/1 = per-op); virtual-clock results are byte-identical at any setting")
 		faults     = flag.String("faults", "", "deterministic fault plan (kind@start-end:params;... with kinds slow,error,crash,drop,delay,stall)")
+		poolPages  = flag.Int("pool-pages", 64, "buffer-pool capacity in 4KiB pages for disk-backed SUTs")
+		poolPolicy = flag.String("pool-policy", "lru", "buffer-pool eviction policy for disk-backed SUTs: lru, clock, 2q")
 	)
 	flag.Parse()
 
@@ -101,12 +105,19 @@ func main() {
 		return
 	}
 
+	poolKnobs := pager.PoolKnobs{Pages: *poolPages, Policy: *poolPolicy}.Validate()
 	factories := map[string]func() core.SUT{
 		"btree":   core.NewBTreeSUT,
 		"hash":    core.NewHashSUT,
 		"rmi":     core.NewRMISUT,
 		"alex":    core.NewALEXSUT,
 		"kvstore": core.NewKVSUTDefault,
+		"disk-btree": func() core.SUT {
+			return core.NewDiskBTreeSUT(poolKnobs)
+		},
+		"disk-lsm": func() core.SUT {
+			return core.NewDiskKVSUT(kv.DefaultKnobs(), poolKnobs)
+		},
 	}
 	var results []*core.Result
 	var injectors []*fault.Injector
@@ -114,7 +125,7 @@ func main() {
 		name = strings.TrimSpace(name)
 		f, ok := factories[name]
 		if !ok {
-			fatal(fmt.Errorf("unknown SUT %q (have: btree,hash,rmi,alex,kvstore)", name))
+			fatal(fmt.Errorf("unknown SUT %q (have: btree,hash,rmi,alex,kvstore,disk-btree,disk-lsm)", name))
 		}
 		// One runner (and injector) per SUT: the injector rides each
 		// run's own virtual clock via the WrapSUT hook.
@@ -280,6 +291,16 @@ func printReport(results []*core.Result, csvDir string) {
 		fmt.Println()
 	}
 
+	// Buffer-pool panels for disk-backed SUTs.
+	haveStorage := false
+	for _, r := range results {
+		if r.Storage != nil {
+			report.StoragePanel(os.Stdout, fmt.Sprintf("storage — %s (buffer pool)", r.SUT), r.Storage)
+			fmt.Println()
+			haveStorage = true
+		}
+	}
+
 	if csvDir != "" {
 		if err := os.MkdirAll(csvDir, 0o755); err != nil {
 			fatal(err)
@@ -287,6 +308,11 @@ func printReport(results []*core.Result, csvDir string) {
 		writeCSV(filepath.Join(csvDir, "fig1b.csv"), func(f *os.File) {
 			report.CumulativeCSV(f, labels, curves, 500)
 		})
+		if haveStorage {
+			writeCSV(filepath.Join(csvDir, "storage.csv"), func(f *os.File) {
+				report.StorageCSV(f, results)
+			})
+		}
 		for _, r := range results {
 			r := r
 			writeCSV(filepath.Join(csvDir, "fig1c-"+r.SUT+".csv"), func(f *os.File) {

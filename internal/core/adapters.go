@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/cost"
 	"repro/internal/index"
 	"repro/internal/index/alex"
 	"repro/internal/index/btree"
@@ -10,15 +11,22 @@ import (
 	"repro/internal/workload"
 )
 
+// ioModel prices page I/O counters into work units. Disk-backed SUTs are
+// the only ones that advance those counters, so in-memory SUT results are
+// unaffected by its value.
+var ioModel = cost.DefaultIOModel()
+
 // IndexSUT adapts any index.Ordered into a benchmark SUT, deriving each
 // operation's Work from the index's instrumentation counters so the
 // virtual clock charges realistic, distribution-dependent service times.
 type IndexSUT struct {
-	ix            index.Ordered
-	lastCompare   uint64
-	lastSplits    uint64
-	lastTrainWork uint64
-	online        int64
+	ix             index.Ordered
+	lastCompare    uint64
+	lastSplits     uint64
+	lastTrainWork  uint64
+	lastPageReads  uint64
+	lastPageWrites uint64
+	online         int64
 }
 
 // NewIndexSUT wraps an index.
@@ -74,14 +82,19 @@ func (s *IndexSUT) workDelta(op workload.Op, res OpResult) int64 {
 	compares := int64(st.Compares - s.lastCompare)
 	splits := int64(st.Splits - s.lastSplits)
 	train := int64(st.TrainWork - s.lastTrainWork)
+	ioWork := ioModel.Work(st.PageReads-s.lastPageReads, st.PageWrites-s.lastPageWrites, 0)
 	s.lastCompare = st.Compares
 	s.lastSplits = st.Splits
 	s.lastTrainWork = st.TrainWork
+	s.lastPageReads = st.PageReads
+	s.lastPageWrites = st.PageWrites
 	// Structural modifications and online model rebuilds are charged at
 	// their full entry-touching cost — these are exactly the latency
 	// spikes the adaptability metrics must surface — and also count as
 	// training overhead (the paper's online-learning cost accounting).
-	work := compares + int64(res.Visited)
+	// Page I/O (disk-backed indexes only) dominates everything else when
+	// the buffer pool misses; it is priced through the shared IOModel.
+	work := compares + int64(res.Visited) + ioWork
 	if splits > 0 {
 		work += splits * 16 // tree split / directory bookkeeping
 	}
@@ -124,10 +137,12 @@ func (s *IndexSUT) flushPending() int64 {
 	compares := int64(st.Compares - s.lastCompare)
 	splits := int64(st.Splits - s.lastSplits)
 	train := int64(st.TrainWork - s.lastTrainWork)
+	work := compares + ioModel.Work(st.PageReads-s.lastPageReads, st.PageWrites-s.lastPageWrites, 0)
 	s.lastCompare = st.Compares
 	s.lastSplits = st.Splits
 	s.lastTrainWork = st.TrainWork
-	work := compares
+	s.lastPageReads = st.PageReads
+	s.lastPageWrites = st.PageWrites
 	if splits > 0 {
 		work += splits * 16
 	}

@@ -72,6 +72,10 @@ type Result struct {
 	MaxModels int
 	Retrains  int
 
+	// Storage summarizes buffer-pool work (hits, misses, page I/O,
+	// fsyncs) for disk-backed SUTs; nil for in-memory structures.
+	Storage *StorageStats
+
 	// Total virtual duration (ns).
 	DurationNs int64
 }
@@ -131,6 +135,7 @@ func (r *Runner) Run(s Scenario, sut SUT) (*Result, error) {
 		return nil, err
 	}
 	clock := &sim.Virtual{}
+	pool := PoolOf(sut) // before wrapping: middleware hides the accessor
 	if r.WrapSUT != nil {
 		sut = r.WrapSUT(sut, clock)
 	}
@@ -287,6 +292,9 @@ func (r *Runner) Run(s Scenario, sut SUT) (*Result, error) {
 	res.DurationNs = clock.Now()
 	if ol, ok := sut.(OnlineLearner); ok {
 		res.OnlineTrainWork = ol.OnlineTrainWork() - onlineBase
+	}
+	if pool != nil {
+		res.Storage = &StorageStats{Knobs: pool.Knobs(), Counters: pool.Counters()}
 	}
 	return res, nil
 }

@@ -1,0 +1,30 @@
+package cost
+
+// IOModel prices page-granular storage I/O in the same abstract work units
+// the virtual clock converts to time (sim.CostModel.PerWorkNs). The
+// defaults approximate an NVMe SSD relative to ~10ns-class in-memory
+// compare work: a 4 KiB random read ~10µs, a write ~20µs, an fsync ~100µs.
+// Only the ratios matter for the benchmark's conclusions; recalibrating to
+// a different device is a knob change, not a code change.
+type IOModel struct {
+	WorkPerPageRead  int64
+	WorkPerPageWrite int64
+	WorkPerFsync     int64
+}
+
+// DefaultIOModel returns the NVMe-calibrated defaults.
+func DefaultIOModel() IOModel {
+	return IOModel{
+		WorkPerPageRead:  1250,
+		WorkPerPageWrite: 2500,
+		WorkPerFsync:     12500,
+	}
+}
+
+// Work converts I/O counts (typically buffer-pool counter deltas) into
+// abstract work units.
+func (m IOModel) Work(pageReads, pageWrites, fsyncs uint64) int64 {
+	return int64(pageReads)*m.WorkPerPageRead +
+		int64(pageWrites)*m.WorkPerPageWrite +
+		int64(fsyncs)*m.WorkPerFsync
+}

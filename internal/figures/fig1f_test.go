@@ -1,0 +1,190 @@
+package figures
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/report"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+func TestFig1fShape(t *testing.T) {
+	res, err := Fig1f(SmallScale(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cold) != 3 {
+		t.Fatalf("cold panel has %d policies", len(res.Cold))
+	}
+	lo, hi := 1.0, 0.0
+	for _, c := range res.Cold {
+		if c.Misses == 0 {
+			t.Fatalf("%s: cold run with zero misses — pool was not cold", c.Policy)
+		}
+		if c.HitRatio <= 0 || c.HitRatio >= 1 {
+			t.Fatalf("%s: hit ratio %v out of (0,1)", c.Policy, c.HitRatio)
+		}
+		if c.PagesRead != c.Misses {
+			t.Fatalf("%s: pages read %d != misses %d on a read-only phase",
+				c.Policy, c.PagesRead, c.Misses)
+		}
+		if c.HitRatio < lo {
+			lo = c.HitRatio
+		}
+		if c.HitRatio > hi {
+			hi = c.HitRatio
+		}
+	}
+	// The acceptance bar: the same workload through the same pool size
+	// must show a measurable hit-ratio difference between policies.
+	if hi-lo < 0.01 {
+		t.Fatalf("eviction policies indistinguishable: hit ratios span [%v, %v]", lo, hi)
+	}
+
+	// IO-bound sweep: more pool => higher hit ratio => higher throughput.
+	for i := 1; i < len(res.IOBound); i++ {
+		prev, cur := res.IOBound[i-1], res.IOBound[i]
+		if cur.HitRatio <= prev.HitRatio {
+			t.Fatalf("hit ratio not increasing with pool size: %d pages %v vs %d pages %v",
+				prev.Pages, prev.HitRatio, cur.Pages, cur.HitRatio)
+		}
+		if cur.Throughput <= prev.Throughput {
+			t.Fatalf("throughput not increasing with pool size: %d pages %v vs %d pages %v",
+				prev.Pages, prev.Throughput, cur.Pages, cur.Throughput)
+		}
+	}
+	first, last := res.IOBound[0], res.IOBound[len(res.IOBound)-1]
+	if last.HitRatio-first.HitRatio < 0.1 {
+		t.Fatalf("pool sweep too flat: %v -> %v", first.HitRatio, last.HitRatio)
+	}
+
+	// Write-heavy: the in-place tree must write back far more pages than
+	// the log-structured store, and only the LSM pays publish fsyncs.
+	if len(res.WriteHeavy) != 2 {
+		t.Fatalf("write panel has %d SUTs", len(res.WriteHeavy))
+	}
+	byName := map[string]Fig1fWrite{}
+	for _, p := range res.WriteHeavy {
+		byName[p.SUT] = p
+	}
+	bt, ok := byName["disk-btree"]
+	if !ok {
+		t.Fatal("no disk-btree in write panel")
+	}
+	lsm, ok := byName["disk-lsm"]
+	if !ok {
+		t.Fatal("no disk-lsm in write panel")
+	}
+	if bt.PagesWritten <= lsm.PagesWritten {
+		t.Fatalf("in-place tree wrote %d pages, LSM %d — write amplification story inverted",
+			bt.PagesWritten, lsm.PagesWritten)
+	}
+	if lsm.Fsyncs == 0 {
+		t.Fatal("LSM published runs without a single fsync")
+	}
+	if len(res.Results) != len(res.Cold)+len(res.IOBound)+len(res.WriteHeavy) {
+		t.Fatalf("raw results incomplete: %d", len(res.Results))
+	}
+}
+
+// TestFig1fDeterministic pins the ISSUE acceptance: same seed + knobs
+// yields byte-identical virtual-clock result JSON across repeats.
+func TestFig1fDeterministic(t *testing.T) {
+	a, err := Fig1f(SmallScale(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig1f(SmallScale(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Cold, b.Cold) {
+		t.Fatalf("cold panel differs between identical runs:\n%+v\n%+v", a.Cold, b.Cold)
+	}
+	if !reflect.DeepEqual(a.IOBound, b.IOBound) {
+		t.Fatal("io-bound panel differs between identical runs")
+	}
+	if !reflect.DeepEqual(a.WriteHeavy, b.WriteHeavy) {
+		t.Fatal("write-heavy panel differs between identical runs")
+	}
+	for key, ra := range a.Results {
+		rb, ok := b.Results[key]
+		if !ok {
+			t.Fatalf("second run missing %s", key)
+		}
+		ja, err := report.MarshalResult(ra)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jb, err := report.MarshalResult(rb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ja, jb) {
+			t.Fatalf("%s: result JSON differs between identical runs", key)
+		}
+		if !bytes.Contains(ja, []byte(`"storage"`)) {
+			t.Fatalf("%s: marshalled result has no storage block", key)
+		}
+	}
+}
+
+// TestFig1fParallelBitIdentical: the panel fans its runs out under
+// -parallel; results must match the serial sweep exactly.
+func TestFig1fParallelBitIdentical(t *testing.T) {
+	serial := SmallScale()
+	serial.Ops /= 2
+	serial.DataSize /= 2
+	serial.Parallel = 1
+	par := serial
+	par.Parallel = 8
+
+	a, err := Fig1f(serial, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig1f(par, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Cold, b.Cold) || !reflect.DeepEqual(a.IOBound, b.IOBound) ||
+		!reflect.DeepEqual(a.WriteHeavy, b.WriteHeavy) {
+		t.Fatal("panels differ between serial and parallel sweep")
+	}
+}
+
+// TestFig1fGolden pins the rendered panel byte-for-byte. Regenerate with
+//
+//	go test ./internal/figures -run TestFig1fGolden -update
+func TestFig1fGolden(t *testing.T) {
+	scale := SmallScale()
+	scale.Ops /= 2
+	scale.DataSize /= 2
+	res, err := Fig1f(scale, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	RenderFig1f(&buf, res)
+	buf.WriteString("--- csv ---\n")
+	Fig1fCSV(&buf, res)
+
+	path := filepath.Join("testdata", "fig1f.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("fig1f panel drifted from golden\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}

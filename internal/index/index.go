@@ -58,6 +58,12 @@ type Stats struct {
 	// service time (the op that triggered it stalls) and training
 	// overhead (the paper's online-learning cost accounting).
 	TrainWork uint64
+	// PageReads and PageWrites count 4 KiB pages moved between the
+	// buffer pool and the backing file (disk-backed indexes only; zero
+	// for in-memory structures). The cost model prices them separately
+	// from CPU work — they are the dominant term for cold caches.
+	PageReads  uint64
+	PageWrites uint64
 }
 
 // Instrumented exposes internal counters.

@@ -1,6 +1,10 @@
 package kv
 
-import "sort"
+import (
+	"sort"
+
+	"repro/internal/kv/bloom"
+)
 
 // tombstoneVal marks deletions inside runs. Values written by users are
 // stored alongside a liveness flag, so the full uint64 value space remains
@@ -19,7 +23,7 @@ type run struct {
 	// sparse[i] is the key at entries[i*sparseEvery].
 	sparse      []uint64
 	sparseEvery int
-	filter      *bloom
+	filter      *bloom.Filter
 }
 
 // newRun builds a run from sorted, deduplicated entries.
@@ -32,9 +36,9 @@ func newRun(entries []entry, sparseEvery, bloomBitsPerKey int) *run {
 		r.sparse = append(r.sparse, entries[i].key)
 	}
 	if bloomBitsPerKey > 0 {
-		r.filter = newBloom(len(entries), bloomBitsPerKey)
+		r.filter = bloom.New(len(entries), bloomBitsPerKey)
 		for _, e := range entries {
-			r.filter.add(e.key)
+			r.filter.Add(e.key)
 		}
 	}
 	return r
@@ -46,7 +50,7 @@ func (r *run) get(key uint64) (entry, bool, int) {
 	if len(r.entries) == 0 {
 		return entry{}, false, 0
 	}
-	if !r.filter.mayContain(key) {
+	if !r.filter.MayContain(key) {
 		return entry{}, false, 0
 	}
 	probes := 0

@@ -146,7 +146,7 @@ func (s *Store) Get(key uint64) (uint64, bool) {
 	}
 	for _, r := range s.runs {
 		s.st.RunsSearchedSum++
-		if !r.filter.mayContain(key) {
+		if !r.filter.MayContain(key) {
 			s.st.BloomNegatives++
 			continue
 		}

@@ -1,0 +1,259 @@
+package pager
+
+import "container/list"
+
+// evictPolicy decides which resident page to evict. Implementations must
+// be deterministic: victim order may depend only on the admit/touch/remove
+// history, never on map iteration or randomness — the virtual-clock
+// benchmark requires identical counters on identical op sequences.
+type evictPolicy interface {
+	// admit records a page entering the pool.
+	admit(id PageID)
+	// touch records a hit on a resident page.
+	touch(id PageID)
+	// victim returns the next page to evict, skipping pages for which
+	// pinned reports true. ok is false when every candidate is pinned.
+	victim(pinned func(PageID) bool) (id PageID, ok bool)
+	// remove records a page leaving the pool (evicted or freed).
+	remove(id PageID)
+}
+
+// newPolicy builds the policy named by knobs (already validated).
+func newPolicy(k PoolKnobs) evictPolicy {
+	switch k.Policy {
+	case "clock":
+		return newClock()
+	case "2q":
+		return newTwoQ(k.Pages)
+	default:
+		return newLRU()
+	}
+}
+
+// ---------------------------------------------------------------- LRU --
+
+// lruPolicy evicts the least recently used page.
+type lruPolicy struct {
+	ll  *list.List // front = most recent
+	pos map[PageID]*list.Element
+}
+
+func newLRU() *lruPolicy {
+	return &lruPolicy{ll: list.New(), pos: make(map[PageID]*list.Element)}
+}
+
+func (l *lruPolicy) admit(id PageID) { l.pos[id] = l.ll.PushFront(id) }
+
+func (l *lruPolicy) touch(id PageID) {
+	if e, ok := l.pos[id]; ok {
+		l.ll.MoveToFront(e)
+	}
+}
+
+func (l *lruPolicy) victim(pinned func(PageID) bool) (PageID, bool) {
+	for e := l.ll.Back(); e != nil; e = e.Prev() {
+		id := e.Value.(PageID)
+		if !pinned(id) {
+			return id, true
+		}
+	}
+	return NilPage, false
+}
+
+func (l *lruPolicy) remove(id PageID) {
+	if e, ok := l.pos[id]; ok {
+		l.ll.Remove(e)
+		delete(l.pos, id)
+	}
+}
+
+// -------------------------------------------------------------- CLOCK --
+
+// clockPolicy is the classic second-chance ring: a hit sets the page's
+// reference bit; the hand sweeps, clearing bits, and evicts the first
+// unreferenced page it meets. Cheaper bookkeeping than LRU, coarser
+// recency — the gap the cold-cache experiment surfaces.
+type clockPolicy struct {
+	ring []PageID // insertion ring; NilPage marks holes
+	ref  map[PageID]bool
+	pos  map[PageID]int
+	hand int
+}
+
+func newClock() *clockPolicy {
+	return &clockPolicy{ref: make(map[PageID]bool), pos: make(map[PageID]int)}
+}
+
+func (c *clockPolicy) admit(id PageID) {
+	// Reuse a hole if the hand is on one, else append. Holes are rare
+	// (remove punches them, the sweep reuses them) and scanning from the
+	// hand keeps placement deterministic.
+	c.pos[id] = len(c.ring)
+	c.ring = append(c.ring, id)
+	c.ref[id] = false
+}
+
+func (c *clockPolicy) touch(id PageID) {
+	if _, ok := c.pos[id]; ok {
+		c.ref[id] = true
+	}
+}
+
+func (c *clockPolicy) victim(pinned func(PageID) bool) (PageID, bool) {
+	if len(c.ring) == 0 {
+		return NilPage, false
+	}
+	// Two full sweeps suffice: the first clears reference bits, the
+	// second must find an unreferenced unpinned page if one exists.
+	for sweep := 0; sweep < 2*len(c.ring); sweep++ {
+		if c.hand >= len(c.ring) {
+			c.hand = 0
+		}
+		id := c.ring[c.hand]
+		if id == NilPage {
+			c.compactHole()
+			continue
+		}
+		if pinned(id) {
+			c.hand++
+			continue
+		}
+		if c.ref[id] {
+			c.ref[id] = false
+			c.hand++
+			continue
+		}
+		return id, true
+	}
+	return NilPage, false
+}
+
+// compactHole removes the hole under the hand.
+func (c *clockPolicy) compactHole() {
+	c.ring = append(c.ring[:c.hand], c.ring[c.hand+1:]...)
+	for i := c.hand; i < len(c.ring); i++ {
+		if c.ring[i] != NilPage {
+			c.pos[c.ring[i]] = i
+		}
+	}
+}
+
+func (c *clockPolicy) remove(id PageID) {
+	if i, ok := c.pos[id]; ok {
+		c.ring[i] = NilPage // punch a hole; the sweep compacts it
+		delete(c.pos, id)
+		delete(c.ref, id)
+	}
+}
+
+// ----------------------------------------------------------------- 2Q --
+
+// twoQPolicy is full 2Q: first-touch pages enter a FIFO probation queue
+// (A1in); a second touch promotes to the protected LRU (Am). Pages evicted
+// out of probation leave a ghost entry (A1out, IDs only) — re-admission of
+// a ghosted page goes straight to Am, which is how 2Q recognizes a hot
+// page whose re-reference distance exceeds the probation queue. Victims
+// come from A1in while it exceeds its share, else from Am's tail. Scan
+// traffic (one-touch pages) therefore washes through probation without
+// evicting the hot set — the property that separates it from plain LRU on
+// mixed workloads.
+type twoQPolicy struct {
+	a1    *list.List // FIFO: front = newest
+	am    *list.List // LRU: front = most recent
+	ghost *list.List // A1out: front = newest ghost (IDs of pages evicted from a1)
+	pos   map[PageID]*list.Element
+	gpos  map[PageID]*list.Element
+	in    map[PageID]bool // true: element lives in a1
+	// a1Max is the probation share of the pool (capacity / 4, min 1);
+	// ghostMax bounds A1out (2x capacity — ghosts are 4-byte IDs).
+	a1Max    int
+	ghostMax int
+}
+
+func newTwoQ(capacity int) *twoQPolicy {
+	a1Max := capacity / 4
+	if a1Max < 1 {
+		a1Max = 1
+	}
+	return &twoQPolicy{
+		a1:       list.New(),
+		am:       list.New(),
+		ghost:    list.New(),
+		pos:      make(map[PageID]*list.Element),
+		gpos:     make(map[PageID]*list.Element),
+		in:       make(map[PageID]bool),
+		a1Max:    a1Max,
+		ghostMax: 2 * capacity,
+	}
+}
+
+func (q *twoQPolicy) admit(id PageID) {
+	if e, ok := q.gpos[id]; ok {
+		// Seen recently: the page is hot with a long re-reference
+		// distance. Skip probation, go straight to the protected queue.
+		q.ghost.Remove(e)
+		delete(q.gpos, id)
+		q.pos[id] = q.am.PushFront(id)
+		q.in[id] = false
+		return
+	}
+	q.pos[id] = q.a1.PushFront(id)
+	q.in[id] = true
+}
+
+func (q *twoQPolicy) touch(id PageID) {
+	e, ok := q.pos[id]
+	if !ok {
+		return
+	}
+	if q.in[id] {
+		q.a1.Remove(e)
+		q.pos[id] = q.am.PushFront(id)
+		q.in[id] = false
+		return
+	}
+	q.am.MoveToFront(e)
+}
+
+func (q *twoQPolicy) victim(pinned func(PageID) bool) (PageID, bool) {
+	scan := func(ll *list.List) (PageID, bool) {
+		for e := ll.Back(); e != nil; e = e.Prev() {
+			id := e.Value.(PageID)
+			if !pinned(id) {
+				return id, true
+			}
+		}
+		return NilPage, false
+	}
+	if q.a1.Len() > q.a1Max {
+		if id, ok := scan(q.a1); ok {
+			return id, true
+		}
+	}
+	if id, ok := scan(q.am); ok {
+		return id, true
+	}
+	return scan(q.a1)
+}
+
+func (q *twoQPolicy) remove(id PageID) {
+	e, ok := q.pos[id]
+	if !ok {
+		return
+	}
+	if q.in[id] {
+		q.a1.Remove(e)
+		// Leaving probation without a promotion: remember the page in
+		// A1out so a prompt return is recognized as a hot page.
+		q.gpos[id] = q.ghost.PushFront(id)
+		for q.ghost.Len() > q.ghostMax {
+			old := q.ghost.Back()
+			q.ghost.Remove(old)
+			delete(q.gpos, old.Value.(PageID))
+		}
+	} else {
+		q.am.Remove(e)
+	}
+	delete(q.pos, id)
+	delete(q.in, id)
+}

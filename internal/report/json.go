@@ -82,6 +82,24 @@ type ResultView struct {
 	Models           int   `json:"models"`
 	MaxModels        int   `json:"maxModels"`
 	Retrains         int   `json:"retrains"`
+
+	// Storage summarizes buffer-pool work for disk-backed SUTs; omitted
+	// for in-memory SUTs so pre-storage goldens are unchanged.
+	Storage *StorageView `json:"storage,omitempty"`
+}
+
+// StorageView is the JSON form of a disk-backed SUT's pool summary.
+type StorageView struct {
+	PoolPages       int     `json:"poolPages"`
+	Policy          string  `json:"policy"`
+	Hits            uint64  `json:"hits"`
+	Misses          uint64  `json:"misses"`
+	HitRatio        float64 `json:"hitRatio"`
+	Evictions       uint64  `json:"evictions"`
+	DirtyWritebacks uint64  `json:"dirtyWritebacks"`
+	PagesRead       uint64  `json:"pagesRead"`
+	PagesWritten    uint64  `json:"pagesWritten"`
+	Fsyncs          uint64  `json:"fsyncs"`
 }
 
 // viewFromSnapshot digests the engine-shared measurement quadruple — the
@@ -129,6 +147,21 @@ func NewResultView(r *core.Result) ResultView {
 	}
 	for _, lats := range r.PostChangeLatencies {
 		v.AdjustmentNs = append(v.AdjustmentNs, metrics.AdjustmentSpeed(lats, r.SLANs, len(lats)))
+	}
+	if r.Storage != nil {
+		c := r.Storage.Counters
+		v.Storage = &StorageView{
+			PoolPages:       r.Storage.Knobs.Pages,
+			Policy:          r.Storage.Knobs.Policy,
+			Hits:            c.Hits,
+			Misses:          c.Misses,
+			HitRatio:        c.HitRatio(),
+			Evictions:       c.Evictions,
+			DirtyWritebacks: c.DirtyWritebacks,
+			PagesRead:       c.PagesRead,
+			PagesWritten:    c.PagesWritten,
+			Fsyncs:          c.Fsyncs,
+		}
 	}
 	return v
 }

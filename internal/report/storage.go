@@ -1,0 +1,38 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+)
+
+// StoragePanel renders a disk-backed SUT's buffer-pool counters: the
+// "why" behind its throughput — hit ratio, page traffic, durability cost.
+func StoragePanel(w io.Writer, title string, s *core.StorageStats) {
+	if s == nil {
+		return
+	}
+	c := s.Counters
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "  %s\n", s.Knobs)
+	fmt.Fprintf(w, "  pool: %d hits, %d misses (hit ratio %.3f), %d evictions, %d dirty writebacks\n",
+		c.Hits, c.Misses, c.HitRatio(), c.Evictions, c.DirtyWritebacks)
+	fmt.Fprintf(w, "  io:   %d pages read, %d pages written, %d fsyncs\n",
+		c.PagesRead, c.PagesWritten, c.Fsyncs)
+}
+
+// StorageCSV emits one row per result with a storage summary.
+func StorageCSV(w io.Writer, results []*core.Result) {
+	fmt.Fprintln(w, "sut,pool_pages,policy,hits,misses,hit_ratio,evictions,dirty_writebacks,pages_read,pages_written,fsyncs")
+	for _, r := range results {
+		if r.Storage == nil {
+			continue
+		}
+		c := r.Storage.Counters
+		fmt.Fprintf(w, "%s,%d,%s,%d,%d,%.6f,%d,%d,%d,%d,%d\n",
+			csvEscape(r.SUT), r.Storage.Knobs.Pages, r.Storage.Knobs.Policy,
+			c.Hits, c.Misses, c.HitRatio(), c.Evictions, c.DirtyWritebacks,
+			c.PagesRead, c.PagesWritten, c.Fsyncs)
+	}
+}

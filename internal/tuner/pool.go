@@ -1,0 +1,50 @@
+package tuner
+
+import (
+	"fmt"
+
+	"repro/internal/pager"
+)
+
+// PoolEvaluator measures the performance (higher is better) of a
+// buffer-pool configuration on the target workload — typically hit ratio
+// or virtual-clock throughput, optionally penalized by memory footprint.
+type PoolEvaluator func(k pager.PoolKnobs) float64
+
+// PoolStep records one evaluation of a pool-knob sweep.
+type PoolStep struct {
+	Knobs     pager.PoolKnobs
+	Score     float64
+	BestSoFar float64
+}
+
+// PoolResult summarizes a pool tuning run.
+type PoolResult struct {
+	Best        pager.PoolKnobs
+	BestScore   float64
+	Evaluations int
+	Trace       []PoolStep
+}
+
+// PoolSweep evaluates the entire pool knob space (size x eviction policy,
+// pager.PoolSpace) and returns the best configuration. The space is small
+// enough that exhaustive search is the honest tuner; the trace doubles as
+// the training curve when evaluations are charged as training budget.
+func PoolSweep(eval PoolEvaluator) PoolResult {
+	var res PoolResult
+	for i, k := range pager.PoolSpace() {
+		s := eval(k)
+		res.Evaluations++
+		if s > res.BestScore || i == 0 {
+			res.BestScore = s
+			res.Best = k
+		}
+		res.Trace = append(res.Trace, PoolStep{Knobs: k, Score: s, BestSoFar: res.BestScore})
+	}
+	return res
+}
+
+// String renders a pool step for logs.
+func (s PoolStep) String() string {
+	return fmt.Sprintf("%v -> %.3f (best %.3f)", s.Knobs, s.Score, s.BestSoFar)
+}
