@@ -16,6 +16,9 @@ package lsbench
 // metrics (area scores, adjustment speed, cost to outperform).
 
 import (
+	"os"
+	"strconv"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
@@ -335,6 +338,7 @@ func BenchmarkMicroBTreeGet(b *testing.B) {
 	keys, vals := loadedKeys(1_000_000)
 	tr := btree.NewDefault()
 	tr.BulkLoad(keys, vals)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tr.Get(keys[i%len(keys)])
@@ -345,6 +349,7 @@ func BenchmarkMicroRMIGet(b *testing.B) {
 	keys, vals := loadedKeys(1_000_000)
 	ix := rmi.NewDefault()
 	ix.BulkLoad(keys, vals)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ix.Get(keys[i%len(keys)])
@@ -355,6 +360,7 @@ func BenchmarkMicroALEXGet(b *testing.B) {
 	keys, vals := loadedKeys(1_000_000)
 	ix := alex.New()
 	ix.BulkLoad(keys, vals)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ix.Get(keys[i%len(keys)])
@@ -363,6 +369,7 @@ func BenchmarkMicroALEXGet(b *testing.B) {
 
 func BenchmarkMicroALEXInsert(b *testing.B) {
 	ix := alex.New()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ix.Insert(uint64(i)*2654435761, uint64(i))
@@ -371,6 +378,7 @@ func BenchmarkMicroALEXInsert(b *testing.B) {
 
 func BenchmarkMicroBTreeInsert(b *testing.B) {
 	tr := btree.NewDefault()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tr.Insert(uint64(i)*2654435761, uint64(i))
@@ -455,6 +463,7 @@ func BenchmarkDiskBTreeGet(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			tr.Get(keys[(i*16777619)%len(keys)])
@@ -476,6 +485,7 @@ func BenchmarkDiskLSMPut(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		store.Put(uint64(i)*2654435761, uint64(i))
@@ -499,10 +509,149 @@ func BenchmarkMicroRunnerOverhead(b *testing.B) {
 			},
 		}},
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.NewRunner().Run(scenario, core.NewBTreeSUT()); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkMicroRunnerDispatch measures the runner's steady-state per-op
+// dispatch cost: one run whose single phase executes b.N read-only ops, so
+// per-run setup (SUT load, collector, result) amortizes away and allocs/op
+// converges on the true per-op allocation count — which must be 0 (key
+// draws go through fixed buffers, dispatch buffers come from a pool, and
+// batch reordering reuses a scratch permutation).
+func BenchmarkMicroRunnerDispatch(b *testing.B) {
+	scenario := core.Scenario{
+		Name:        "dispatch",
+		Seed:        1,
+		InitialData: distgen.NewUniform(1, 0, 1<<40),
+		InitialSize: 100000,
+		IntervalNs:  1_000_000,
+		Phases: []core.Phase{{
+			Name: "p",
+			Ops:  b.N,
+			Workload: workload.Spec{
+				Mix:    workload.Mix{GetFrac: 1},
+				Access: distgen.Static{G: distgen.NewUniform(2, 0, 1<<40)},
+			},
+		}},
+	}
+	r := core.NewRunner()
+	r.Batch = 64
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := r.Run(scenario, core.NewBTreeSUT()); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// --- Large-scale tier ------------------------------------------------------
+//
+// The benchmarks below run against a datagen-scale dataset: 100M keys by
+// default (the paper's "realistic data sizes" argument needs indexes that
+// dwarf the caches), overridable down for CI with LSBENCH_LARGE_N. They are
+// excluded from bench-smoke (-skip '^BenchmarkLarge') and run via
+// `make bench-large`, which pins LSBENCH_LARGE_N to a CI-sized value.
+
+// largeN is the large-tier dataset size: LSBENCH_LARGE_N or 100M.
+func largeN() int {
+	if s := os.Getenv("LSBENCH_LARGE_N"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 100_000_000
+}
+
+// largeDataset builds the large key/value arrays once per process.
+// Sequential generation with random gaps is O(n) with no dedup table, so
+// 100M keys materialize in seconds rather than the minutes a hash-set
+// uniqueness filter would take.
+var largeDataset struct {
+	once       sync.Once
+	keys, vals []uint64
+}
+
+func largeKeys(b *testing.B) ([]uint64, []uint64) {
+	b.Helper()
+	largeDataset.once.Do(func() {
+		n := largeN()
+		largeDataset.keys = distgen.NewSequential(1, 1, 16).Keys(n)
+		largeDataset.vals = make([]uint64, n)
+	})
+	return largeDataset.keys, largeDataset.vals
+}
+
+// BenchmarkLargeBTreeBulkLoad measures the parallel arena bulk load.
+func BenchmarkLargeBTreeBulkLoad(b *testing.B) {
+	keys, vals := largeKeys(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := btree.NewDefault()
+		tr.BulkLoad(keys, vals)
+	}
+}
+
+// BenchmarkLargeRMITrain measures RMI bulk load + parallel leaf training.
+func BenchmarkLargeRMITrain(b *testing.B) {
+	keys, vals := largeKeys(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix := rmi.NewDefault()
+		ix.BulkLoad(keys, vals)
+	}
+}
+
+// BenchmarkLargeALEXBulkLoad measures the parallel arena node build.
+func BenchmarkLargeALEXBulkLoad(b *testing.B) {
+	keys, vals := largeKeys(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix := alex.New()
+		ix.BulkLoad(keys, vals)
+	}
+}
+
+// largeProbe strides pseudo-randomly through the key space so lookups are
+// cache-hostile (the point of the 100M tier) yet deterministic.
+func largeProbe(i, n int) int { return int(uint64(i) * 0x9E3779B97F4A7C15 % uint64(n)) }
+
+func BenchmarkLargeBTreeGet(b *testing.B) {
+	keys, vals := largeKeys(b)
+	tr := btree.NewDefault()
+	tr.BulkLoad(keys, vals)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(keys[largeProbe(i, len(keys))])
+	}
+}
+
+func BenchmarkLargeRMIGet(b *testing.B) {
+	keys, vals := largeKeys(b)
+	ix := rmi.NewDefault()
+	ix.BulkLoad(keys, vals)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Get(keys[largeProbe(i, len(keys))])
+	}
+}
+
+func BenchmarkLargeALEXGet(b *testing.B) {
+	keys, vals := largeKeys(b)
+	ix := alex.New()
+	ix.BulkLoad(keys, vals)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Get(keys[largeProbe(i, len(keys))])
 	}
 }

@@ -32,10 +32,13 @@ import (
 	"strings"
 )
 
-// Entry is one benchmark measurement.
+// Entry is one benchmark measurement. AllocsPerOp is nil when the bench
+// ran without -benchmem (and for baselines emitted before the allocation
+// gate existed), so old baseline files keep parsing.
 type Entry struct {
-	NsPerOp float64 `json:"ns_per_op"`
-	Iters   int64   `json:"iters"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	Iters       int64    `json:"iters"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 }
 
 // File is the emitted JSON shape: benchmark key -> measurement, where the
@@ -52,6 +55,7 @@ func main() {
 		current    = flag.String("current", "BENCH_smoke.json", "freshly emitted file (compare mode)")
 		maxRegress = flag.Float64("max-regress", 0.25, "maximum allowed ns/op increase as a fraction of the baseline")
 		minNs      = flag.Float64("min-ns", 1e6, "ignore benchmarks whose baseline ns/op is below this (single-shot noise)")
+		allocSlack = flag.Int64("alloc-slack", 4, "maximum allowed allocs/op increase beyond max-regress*baseline (absolute; keeps 0-alloc benchmarks honest without tripping on noise)")
 	)
 	flag.Parse()
 
@@ -62,7 +66,7 @@ func main() {
 			os.Exit(2)
 		}
 	case *compare:
-		regressions, err := compareFiles(*baseline, *current, *maxRegress, *minNs)
+		regressions, err := compareFiles(*baseline, *current, *maxRegress, *minNs, *allocSlack)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchguard:", err)
 			os.Exit(2)
@@ -155,24 +159,38 @@ func parseBenchLine(line string) (string, Entry, bool) {
 	if err != nil {
 		return "", Entry{}, false
 	}
-	// Find the "ns/op" unit; its value is the preceding field.
+	// Find the "ns/op" unit; its value is the preceding field. allocs/op
+	// (present with -benchmem) is captured the same way.
+	e := Entry{Iters: iters}
+	found := false
 	for i := 3; i < len(fields); i++ {
-		if fields[i] != "ns/op" {
-			continue
+		switch fields[i] {
+		case "ns/op":
+			ns, err := strconv.ParseFloat(fields[i-1], 64)
+			if err != nil {
+				return "", Entry{}, false
+			}
+			e.NsPerOp = ns
+			found = true
+		case "allocs/op":
+			if a, err := strconv.ParseFloat(fields[i-1], 64); err == nil {
+				e.AllocsPerOp = &a
+			}
 		}
-		ns, err := strconv.ParseFloat(fields[i-1], 64)
-		if err != nil {
-			return "", Entry{}, false
-		}
-		return name, Entry{NsPerOp: ns, Iters: iters}, true
 	}
-	return "", Entry{}, false
+	if !found {
+		return "", Entry{}, false
+	}
+	return name, e, true
 }
 
 // compareFiles returns one line per benchmark that regressed beyond
 // maxRegress, comparing only keys present in both files and only those
-// with a baseline of at least minNs.
-func compareFiles(basePath, curPath string, maxRegress, minNs float64) ([]string, error) {
+// with a baseline of at least minNs. When both sides carry allocs/op,
+// allocations are gated too: the current count may exceed the baseline by
+// at most maxRegress (relative) plus allocSlack (absolute), so a 0-alloc
+// baseline stays pinned near zero instead of being exempted by a ratio.
+func compareFiles(basePath, curPath string, maxRegress, minNs float64, allocSlack int64) ([]string, error) {
 	base, err := readFile(basePath)
 	if err != nil {
 		return nil, err
@@ -199,6 +217,14 @@ func compareFiles(basePath, curPath string, maxRegress, minNs float64) ([]string
 			regressions = append(regressions, fmt.Sprintf(
 				"REGRESSION %s: %.0f ns/op -> %.0f ns/op (+%.0f%%)",
 				k, b.NsPerOp, c.NsPerOp, (ratio-1)*100))
+		}
+		if b.AllocsPerOp != nil && c.AllocsPerOp != nil {
+			limit := *b.AllocsPerOp*(1+maxRegress) + float64(allocSlack)
+			if *c.AllocsPerOp > limit {
+				regressions = append(regressions, fmt.Sprintf(
+					"REGRESSION %s: %.0f allocs/op -> %.0f allocs/op (limit %.0f)",
+					k, *b.AllocsPerOp, *c.AllocsPerOp, limit))
+			}
 		}
 	}
 	return regressions, nil

@@ -32,7 +32,7 @@ func TestParseBench(t *testing.T) {
 		t.Fatal("emit mode did not tee its input verbatim")
 	}
 	want := map[string]Entry{
-		"repro/internal/core.BenchmarkRunner":   {NsPerOp: 5e6, Iters: 1},
+		"repro/internal/core.BenchmarkRunner":   {NsPerOp: 5e6, Iters: 1, AllocsPerOp: fp(10)},
 		"repro/internal/core.BenchmarkFast":     {NsPerOp: 1.5, Iters: 1000000},
 		"repro/internal/figures.BenchmarkFig1a": {NsPerOp: 9e6, Iters: 1},
 	}
@@ -40,10 +40,20 @@ func TestParseBench(t *testing.T) {
 		t.Fatalf("parsed %d benchmarks, want %d: %+v", len(f.Benchmarks), len(want), f.Benchmarks)
 	}
 	for k, w := range want {
-		if got := f.Benchmarks[k]; got != w {
+		got := f.Benchmarks[k]
+		if got.NsPerOp != w.NsPerOp || got.Iters != w.Iters || !allocsEqual(got.AllocsPerOp, w.AllocsPerOp) {
 			t.Fatalf("%s = %+v, want %+v", k, got, w)
 		}
 	}
+}
+
+func fp(v float64) *float64 { return &v }
+
+func allocsEqual(a, b *float64) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	return a == nil || *a == *b
 }
 
 func TestParseBenchKeepsBestOfN(t *testing.T) {
@@ -103,7 +113,7 @@ func TestCompare(t *testing.T) {
 		"pkg.BenchmarkNew":       {NsPerOp: 1e9, Iters: 1},   // not in baseline
 	})
 
-	regs, err := compareFiles(base, cur, 0.25, 1e6)
+	regs, err := compareFiles(base, cur, 0.25, 1e6, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,12 +125,34 @@ func TestCompare(t *testing.T) {
 	}
 
 	// Within threshold: clean.
-	regs, err = compareFiles(base, cur, 0.5, 1e6)
+	regs, err = compareFiles(base, cur, 0.5, 1e6, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(regs) != 0 {
 		t.Fatalf("regressions at 50%% threshold: %v", regs)
+	}
+}
+
+func TestCompareAllocs(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", map[string]Entry{
+		"pkg.BenchmarkZeroAlloc": {NsPerOp: 10e6, Iters: 1, AllocsPerOp: fp(0)},
+		"pkg.BenchmarkSteady":    {NsPerOp: 10e6, Iters: 1, AllocsPerOp: fp(100)},
+		"pkg.BenchmarkLegacy":    {NsPerOp: 10e6, Iters: 1}, // baseline predates -benchmem
+	})
+	cur := writeBench(t, dir, "cur.json", map[string]Entry{
+		"pkg.BenchmarkZeroAlloc": {NsPerOp: 10e6, Iters: 1, AllocsPerOp: fp(9)},   // 0 -> 9: fails (slack 4)
+		"pkg.BenchmarkSteady":    {NsPerOp: 10e6, Iters: 1, AllocsPerOp: fp(110)}, // within 25%+4
+		"pkg.BenchmarkLegacy":    {NsPerOp: 10e6, Iters: 1, AllocsPerOp: fp(1e6)}, // no baseline allocs: skipped
+	})
+
+	regs, err := compareFiles(base, cur, 0.25, 1e6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || !strings.Contains(regs[0], "pkg.BenchmarkZeroAlloc") || !strings.Contains(regs[0], "allocs/op") {
+		t.Fatalf("regressions = %v, want exactly the zero-alloc allocs/op one", regs)
 	}
 }
 

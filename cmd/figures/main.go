@@ -26,6 +26,7 @@ import (
 	"repro/internal/figures"
 	"repro/internal/metrics"
 	"repro/internal/par"
+	"repro/internal/prof"
 	"repro/internal/report"
 )
 
@@ -55,15 +56,23 @@ func panels() []panel {
 
 func main() {
 	var (
-		scaleName = flag.String("scale", "small", "experiment scale: small or full")
-		seed      = flag.Uint64("seed", 42, "base random seed")
-		only      = flag.String("only", "", "comma-separated subset: fig1a,fig1aw,fig1b,fig1c,fig1d,fig1e,fig1f,lessons,optdrift,ablations,cache,sched")
-		csvDir    = flag.String("csv", "", "directory for CSV series")
-		parallelN = flag.Int("parallel", 0, "max concurrent experiment runs (0 = GOMAXPROCS, 1 = serial); output is byte-identical at any setting")
-		batchN    = flag.Int("batch", 0, "op-dispatch batch size for the virtual runner (0/1 = per-op); output is byte-identical at any setting")
-		faults    = flag.String("faults", "", "fig1e fault plan override, e.g. 'slow@2ms-4ms:factor=8;crash@6ms' (default: derived from each SUT's baseline run)")
+		scaleName  = flag.String("scale", "small", "experiment scale: small or full")
+		seed       = flag.Uint64("seed", 42, "base random seed")
+		only       = flag.String("only", "", "comma-separated subset: fig1a,fig1aw,fig1b,fig1c,fig1d,fig1e,fig1f,lessons,optdrift,ablations,cache,sched")
+		csvDir     = flag.String("csv", "", "directory for CSV series")
+		parallelN  = flag.Int("parallel", 0, "max concurrent experiment runs (0 = GOMAXPROCS, 1 = serial); output is byte-identical at any setting")
+		batchN     = flag.Int("batch", 0, "op-dispatch batch size for the virtual runner (0/1 = per-op); output is byte-identical at any setting")
+		faults     = flag.String("faults", "", "fig1e fault plan override, e.g. 'slow@2ms-4ms:factor=8;crash@6ms' (default: derived from each SUT's baseline run)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	var scale figures.Scale
 	switch *scaleName {
@@ -104,7 +113,7 @@ func main() {
 	// Fan the panels out; each renders into its own buffer so stdout
 	// stays in declaration order regardless of completion order.
 	bufs := make([]bytes.Buffer, len(selected))
-	err := par.ForEach(len(selected), *parallelN, func(i int) error {
+	err = par.ForEach(len(selected), *parallelN, func(i int) error {
 		return selected[i].run(&bufs[i], scale, *seed, *csvDir)
 	})
 	for i := range bufs {

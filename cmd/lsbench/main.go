@@ -39,6 +39,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netdriver"
 	"repro/internal/pager"
+	"repro/internal/prof"
 	"repro/internal/report"
 	"repro/internal/sim"
 )
@@ -80,6 +81,8 @@ func main() {
 		faults     = flag.String("faults", "", "deterministic fault plan (kind@start-end:params;... with kinds slow,error,crash,drop,delay,stall)")
 		poolPages  = flag.Int("pool-pages", 64, "buffer-pool capacity in 4KiB pages for disk-backed SUTs")
 		poolPolicy = flag.String("pool-policy", "lru", "buffer-pool eviction policy for disk-backed SUTs: lru, clock, 2q")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -87,6 +90,11 @@ func main() {
 		fmt.Println(exampleConfig)
 		return
 	}
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 	if *configPath == "" {
 		fmt.Fprintln(os.Stderr, "lsbench: -config is required (see -example)")
 		os.Exit(2)

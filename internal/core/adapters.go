@@ -27,6 +27,7 @@ type IndexSUT struct {
 	lastPageReads  uint64
 	lastPageWrites uint64
 	online         int64
+	sortScratch    []int // reused by DoBatch's sorted get runs
 }
 
 // NewIndexSUT wraps an index.
@@ -121,7 +122,7 @@ func (s *IndexSUT) DoBatch(ops []workload.Op, out []OpResult) {
 		return
 	}
 	pending := s.flushPending()
-	doSortedGetRuns(ops, out, s.Do)
+	doSortedGetRuns(&s.sortScratch, ops, out, s.Do)
 	out[0].Work += pending
 }
 
@@ -191,8 +192,9 @@ func StandardSUTs() []func() SUT {
 
 // KVSUT adapts the log-structured kv.Store.
 type KVSUT struct {
-	store *kv.Store
-	last  kv.Counters
+	store       *kv.Store
+	last        kv.Counters
+	sortScratch []int // reused by DoBatch's sorted get runs
 }
 
 // NewKVSUT wraps a store opened with the given knobs.
@@ -256,7 +258,7 @@ func (s *KVSUT) DoBatch(ops []workload.Op, out []OpResult) {
 		return
 	}
 	pending := s.flushPending()
-	doSortedGetRuns(ops, out, s.Do)
+	doSortedGetRuns(&s.sortScratch, ops, out, s.Do)
 	out[0].Work += pending
 }
 

@@ -38,9 +38,10 @@ func NewDiskBTreeSUTDefault() SUT { return NewDiskBTreeSUT(pager.DefaultPoolKnob
 // the IOModel); every memtable flush is followed by a catalog sync, so
 // write-heavy workloads pay realistic fsync costs.
 type DiskKVSUT struct {
-	store    *kv.DiskStore
-	last     kv.Counters
-	lastPool pager.Counters
+	store       *kv.DiskStore
+	last        kv.Counters
+	lastPool    pager.Counters
+	sortScratch []int // reused by DoBatch's sorted get runs
 }
 
 // NewDiskKVSUT wraps a disk store with the given store and pool knobs.
@@ -125,7 +126,7 @@ func (s *DiskKVSUT) DoBatch(ops []workload.Op, out []OpResult) {
 		return
 	}
 	pending := s.flushPending()
-	doSortedGetRuns(ops, out, s.Do)
+	doSortedGetRuns(&s.sortScratch, ops, out, s.Do)
 	out[0].Work += pending
 }
 

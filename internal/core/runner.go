@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/distgen"
 	"repro/internal/metrics"
@@ -9,6 +10,30 @@ import (
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
+
+// runScratch holds one run's dispatch buffers. Runs borrow it from
+// runScratchPool so repeated Run calls and concurrent RunAll workers reuse
+// the same arenas instead of reallocating per run; nothing in it escapes
+// into the Result (per-op outputs are copied out as they are priced).
+type runScratch struct {
+	ops  []workload.Op
+	gaps []int64
+	outs []OpResult
+}
+
+var runScratchPool = sync.Pool{New: func() any { return new(runScratch) }}
+
+// ensure sizes the buffers for the given batch width, reusing capacity.
+func (sc *runScratch) ensure(batch int) {
+	if cap(sc.ops) < batch {
+		sc.ops = make([]workload.Op, batch)
+		sc.gaps = make([]int64, batch)
+		sc.outs = make([]OpResult, batch)
+	}
+	sc.ops = sc.ops[:batch]
+	sc.gaps = sc.gaps[:batch]
+	sc.outs = sc.outs[:batch]
+}
 
 // PhaseResult carries the per-phase measurements that back Figure 1a: one
 // phase is one workload/data situation, summarized by descriptive
@@ -174,9 +199,10 @@ func (r *Runner) Run(s Scenario, sut SUT) (*Result, error) {
 		batch = 1
 	}
 	bsut := AsBatch(sut)
-	ops := make([]workload.Op, batch)
-	gaps := make([]int64, batch)
-	outs := make([]OpResult, batch)
+	scratch := runScratchPool.Get().(*runScratch)
+	scratch.ensure(batch)
+	defer runScratchPool.Put(scratch)
+	ops, gaps, outs := scratch.ops, scratch.gaps, scratch.outs
 
 	onlineBase := int64(0)
 	if ol, ok := sut.(OnlineLearner); ok {

@@ -31,6 +31,24 @@ type Generator interface {
 	Keys(n int) []uint64
 }
 
+// Filler is implemented by generators that can write keys into a
+// caller-provided buffer, avoiding the per-call allocation of Keys. The
+// RNG stream consumed by Fill(out) is identical to Keys(len(out)), so the
+// two are interchangeable without changing determinism.
+type Filler interface {
+	Fill(out []uint64)
+}
+
+// Fill writes len(out) keys from g into out, using the generator's
+// allocation-free path when it has one and falling back to Keys otherwise.
+func Fill(g Generator, out []uint64) {
+	if f, ok := g.(Filler); ok {
+		f.Fill(out)
+		return
+	}
+	copy(out, g.Keys(len(out)))
+}
+
 // UniqueKeys draws from g until n distinct keys have been collected and
 // returns them sorted ascending. It gives up and pads deterministically if
 // the distribution's support is too small, so it always returns exactly n
@@ -84,11 +102,16 @@ func (u *Uniform) Name() string { return fmt.Sprintf("uniform[%d,%d)", u.Lo, u.H
 // Keys implements Generator.
 func (u *Uniform) Keys(n int) []uint64 {
 	out := make([]uint64, n)
+	u.Fill(out)
+	return out
+}
+
+// Fill implements Filler.
+func (u *Uniform) Fill(out []uint64) {
 	span := u.Hi - u.Lo
 	for i := range out {
 		out[i] = u.Lo + u.rng.Uint64()%span
 	}
-	return out
 }
 
 // Normal draws keys from a (truncated) normal distribution, rounded to
@@ -112,10 +135,15 @@ func (g *Normal) Name() string { return fmt.Sprintf("normal(mu=%.3g,sigma=%.3g)"
 // Keys implements Generator.
 func (g *Normal) Keys(n int) []uint64 {
 	out := make([]uint64, n)
+	g.Fill(out)
+	return out
+}
+
+// Fill implements Filler.
+func (g *Normal) Fill(out []uint64) {
 	for i := range out {
 		out[i] = clampToDomain(g.Mu + g.Sigma*g.rng.NormFloat64())
 	}
-	return out
 }
 
 // Lognormal draws keys whose logarithm is normal — a heavy right tail that
@@ -142,10 +170,15 @@ func (g *Lognormal) Name() string {
 // Keys implements Generator.
 func (g *Lognormal) Keys(n int) []uint64 {
 	out := make([]uint64, n)
+	g.Fill(out)
+	return out
+}
+
+// Fill implements Filler.
+func (g *Lognormal) Fill(out []uint64) {
 	for i := range out {
 		out[i] = clampToDomain(g.Scale * exp(g.Mu+g.Sigma*g.rng.NormFloat64()))
 	}
-	return out
 }
 
 // ZipfKeys draws keys whose *frequency* follows a Zipf law over a scrambled
@@ -172,6 +205,12 @@ func (g *ZipfKeys) Name() string { return fmt.Sprintf("zipf(theta=%.3g,u=%d)", g
 // Keys implements Generator.
 func (g *ZipfKeys) Keys(n int) []uint64 {
 	out := make([]uint64, n)
+	g.Fill(out)
+	return out
+}
+
+// Fill implements Filler.
+func (g *ZipfKeys) Fill(out []uint64) {
 	stride := KeyDomain / g.Universe
 	if stride == 0 {
 		stride = 1
@@ -179,7 +218,6 @@ func (g *ZipfKeys) Keys(n int) []uint64 {
 	for i := range out {
 		out[i] = g.sampler.Next() * stride
 	}
-	return out
 }
 
 // Clustered places keys in tight gaussian clusters around uniformly chosen
@@ -215,11 +253,16 @@ func (g *Clustered) Name() string {
 // Keys implements Generator.
 func (g *Clustered) Keys(n int) []uint64 {
 	out := make([]uint64, n)
+	g.Fill(out)
+	return out
+}
+
+// Fill implements Filler.
+func (g *Clustered) Fill(out []uint64) {
 	for i := range out {
 		c := g.centers[g.rng.Intn(len(g.centers))]
 		out[i] = clampToDomain(c + g.Spread*g.rng.NormFloat64())
 	}
-	return out
 }
 
 // Segmented produces keys from piecewise-linear CDF segments with very
@@ -270,6 +313,12 @@ func (g *Segmented) Name() string { return fmt.Sprintf("segmented(s=%d)", g.Segm
 // Keys implements Generator.
 func (g *Segmented) Keys(n int) []uint64 {
 	out := make([]uint64, n)
+	g.Fill(out)
+	return out
+}
+
+// Fill implements Filler.
+func (g *Segmented) Fill(out []uint64) {
 	for i := range out {
 		u := g.rng.Float64()
 		seg := sort.SearchFloat64s(g.weights, u)
@@ -283,7 +332,6 @@ func (g *Segmented) Keys(n int) []uint64 {
 		}
 		out[i] = lo + g.rng.Uint64()%(hi-lo)
 	}
-	return out
 }
 
 // Sequential produces strictly increasing keys with a configurable random
@@ -310,11 +358,16 @@ func (g *Sequential) Name() string { return fmt.Sprintf("sequential(gap<=%d)", g
 // Keys implements Generator.
 func (g *Sequential) Keys(n int) []uint64 {
 	out := make([]uint64, n)
+	g.Fill(out)
+	return out
+}
+
+// Fill implements Filler.
+func (g *Sequential) Fill(out []uint64) {
 	for i := range out {
 		g.next += 1 + g.rng.Uint64()%g.MaxGap
 		out[i] = g.next
 	}
-	return out
 }
 
 // Mixture draws from component generators with fixed probabilities. It is
@@ -355,22 +408,29 @@ func (g *Mixture) Name() string {
 
 // Keys implements Generator.
 func (g *Mixture) Keys(n int) []uint64 {
-	out := make([]uint64, 0, n)
-	for len(out) < n {
+	out := make([]uint64, n)
+	g.Fill(out)
+	return out
+}
+
+// Fill implements Filler. Each key costs one Float64 from the mixture RNG
+// plus one draw from the chosen component — the same stream Keys consumed
+// when it drew Keys(1) per element.
+func (g *Mixture) Fill(out []uint64) {
+	for i := range out {
 		u := g.rng.Float64()
 		idx := 0
 		cum := 0.0
-		for i, w := range g.Weights {
+		for j, w := range g.Weights {
 			cum += w
 			if u < cum {
-				idx = i
+				idx = j
 				break
 			}
-			idx = i
+			idx = j
 		}
-		out = append(out, g.Components[idx].Keys(1)[0])
+		Fill(g.Components[idx], out[i:i+1])
 	}
-	return out
 }
 
 func clampToDomain(x float64) uint64 {

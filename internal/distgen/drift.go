@@ -19,6 +19,25 @@ type Drift interface {
 	KeysAt(progress float64, n int) []uint64
 }
 
+// DriftFiller is implemented by drifts that can write keys into a
+// caller-provided buffer. FillAt(p, out) consumes the same RNG stream as
+// KeysAt(p, len(out)), so the two are interchangeable without changing
+// determinism; it exists so per-op key draws on the benchmark hot path
+// allocate nothing.
+type DriftFiller interface {
+	FillAt(progress float64, out []uint64)
+}
+
+// FillAt writes len(out) keys from d at the given progress into out, using
+// the drift's allocation-free path when it has one.
+func FillAt(d Drift, progress float64, out []uint64) {
+	if f, ok := d.(DriftFiller); ok {
+		f.FillAt(progress, out)
+		return
+	}
+	copy(out, d.KeysAt(progress, len(out)))
+}
+
 // Static adapts a fixed Generator to the Drift interface (no change over
 // time). It is the baseline Lesson-1 ablations compare against.
 type Static struct{ G Generator }
@@ -28,6 +47,9 @@ func (s Static) Name() string { return "static:" + s.G.Name() }
 
 // KeysAt implements Drift.
 func (s Static) KeysAt(_ float64, n int) []uint64 { return s.G.Keys(n) }
+
+// FillAt implements DriftFiller.
+func (s Static) FillAt(_ float64, out []uint64) { Fill(s.G, out) }
 
 // Blend interpolates between a start and an end distribution: at progress p
 // each key comes from End with probability shape(p) and from Start
@@ -70,6 +92,13 @@ func (b *Blend) Name() string {
 
 // KeysAt implements Drift.
 func (b *Blend) KeysAt(p float64, n int) []uint64 {
+	out := make([]uint64, n)
+	b.FillAt(p, out)
+	return out
+}
+
+// FillAt implements DriftFiller.
+func (b *Blend) FillAt(p float64, out []uint64) {
 	if p < 0 {
 		p = 0
 	}
@@ -80,15 +109,13 @@ func (b *Blend) KeysAt(p float64, n int) []uint64 {
 	if b.Shape != nil {
 		w = b.Shape(p)
 	}
-	out := make([]uint64, 0, n)
-	for len(out) < n {
+	for i := range out {
 		if b.rng.Float64() < w {
-			out = append(out, b.End.Keys(1)[0])
+			Fill(b.End, out[i:i+1])
 		} else {
-			out = append(out, b.Start.Keys(1)[0])
+			Fill(b.Start, out[i:i+1])
 		}
 	}
-	return out
 }
 
 // MovingHotspot concentrates a fraction of accesses on a window of the key
@@ -124,12 +151,18 @@ func (m *MovingHotspot) Name() string {
 
 // KeysAt implements Drift.
 func (m *MovingHotspot) KeysAt(p float64, n int) []uint64 {
+	out := make([]uint64, n)
+	m.FillAt(p, out)
+	return out
+}
+
+// FillAt implements DriftFiller.
+func (m *MovingHotspot) FillAt(p float64, out []uint64) {
 	domain := float64(KeyDomain)
 	start := p * m.Laps
 	start -= float64(int(start)) // fractional lap position
 	winLo := start * domain
 	winSpan := m.WindowSize * domain
-	out := make([]uint64, n)
 	for i := range out {
 		if m.rng.Float64() < m.HotFraction {
 			x := winLo + m.rng.Float64()*winSpan
@@ -141,7 +174,6 @@ func (m *MovingHotspot) KeysAt(p float64, n int) []uint64 {
 			out[i] = m.rng.Uint64() % KeyDomain
 		}
 	}
-	return out
 }
 
 // GrowingSkew starts uniform and sharpens into a Zipf distribution whose
@@ -175,6 +207,13 @@ func (g *GrowingSkew) Name() string {
 
 // KeysAt implements Drift.
 func (g *GrowingSkew) KeysAt(p float64, n int) []uint64 {
+	out := make([]uint64, n)
+	g.FillAt(p, out)
+	return out
+}
+
+// FillAt implements DriftFiller.
+func (g *GrowingSkew) FillAt(p float64, out []uint64) {
 	if p < 0 {
 		p = 0
 	}
@@ -198,11 +237,9 @@ func (g *GrowingSkew) KeysAt(p float64, n int) []uint64 {
 	if stride == 0 {
 		stride = 1
 	}
-	out := make([]uint64, n)
 	for i := range out {
 		out[i] = g.sampler.Next() * stride
 	}
-	return out
 }
 
 // Replay feeds a recorded key sequence as a Drift source, wrapping around
@@ -229,11 +266,16 @@ func (r *Replay) Name() string { return fmt.Sprintf("replay(%d keys)", len(r.key
 // KeysAt implements Drift.
 func (r *Replay) KeysAt(_ float64, n int) []uint64 {
 	out := make([]uint64, n)
+	r.FillAt(0, out)
+	return out
+}
+
+// FillAt implements DriftFiller.
+func (r *Replay) FillAt(_ float64, out []uint64) {
 	for i := range out {
 		out[i] = r.keys[r.idx%len(r.keys)]
 		r.idx++
 	}
-	return out
 }
 
 // Position reports how many keys have been consumed (wrap-around included).
@@ -260,6 +302,13 @@ func (s *Schedule) Name() string { return fmt.Sprintf("schedule(%d segments)", l
 
 // KeysAt implements Drift.
 func (s *Schedule) KeysAt(p float64, n int) []uint64 {
+	out := make([]uint64, n)
+	s.FillAt(p, out)
+	return out
+}
+
+// FillAt implements DriftFiller.
+func (s *Schedule) FillAt(p float64, out []uint64) {
 	if p < 0 {
 		p = 0
 	}
@@ -269,5 +318,5 @@ func (s *Schedule) KeysAt(p float64, n int) []uint64 {
 	k := len(s.Segments)
 	idx := int(p * float64(k))
 	local := p*float64(k) - float64(idx)
-	return s.Segments[idx].KeysAt(local, n)
+	FillAt(s.Segments[idx], local, out)
 }

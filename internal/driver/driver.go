@@ -106,6 +106,14 @@ func (l *lockedDrift) KeysAt(p float64, n int) []uint64 {
 	return l.d.KeysAt(p, n)
 }
 
+// FillAt implements distgen.DriftFiller, preserving the wrapped drift's
+// allocation-free path across the lock.
+func (l *lockedDrift) FillAt(p float64, out []uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	distgen.FillAt(l.d, p, out)
+}
+
 // workerOut is one worker's contribution: samples in completion order plus
 // its op-outcome tallies.
 type workerOut struct {

@@ -49,8 +49,8 @@ func TestRoutingInvariant(t *testing.T) {
 		if i+1 < len(ix.lows) {
 			hi = ix.lows[i+1] - 1
 		}
-		for s, occ := range n.occ {
-			if !occ {
+		for s := range n.keys {
+			if !n.occ.test(s) {
 				continue
 			}
 			if n.keys[s] < lo || n.keys[s] > hi {
@@ -69,8 +69,8 @@ func TestNodeOrderInvariant(t *testing.T) {
 	for ni, n := range ix.nodes {
 		prev := uint64(0)
 		first := true
-		for s, occ := range n.occ {
-			if !occ {
+		for s := range n.keys {
+			if !n.occ.test(s) {
 				continue
 			}
 			if !first && n.keys[s] <= prev {

@@ -5,10 +5,14 @@
 package btree
 
 import (
-	"sort"
-
 	"repro/internal/index"
+	"repro/internal/par"
+	"repro/internal/search"
 )
+
+// parLoadMin is the key count at which BulkLoad fans the slab fill out
+// over internal/par; below it a serial copy wins.
+const parLoadMin = 1 << 20
 
 // DefaultOrder is the fan-out used by New. 64 keys per node keeps inner
 // nodes around one cache line's worth of separators while staying readable.
@@ -96,7 +100,9 @@ func (t *Tree) Delete(key uint64) bool {
 
 func (n *inner) childFor(t *Tree, key uint64) (int, node) {
 	t.stats.Compares += uint64(bits(len(n.keys)))
-	i := sort.Search(len(n.keys), func(i int) bool { return key < n.keys[i] })
+	// Branchless upper bound: child i holds keys < keys[i], so the route
+	// for key is the first separator strictly greater than it.
+	i := search.UpperBound(n.keys, key)
 	return i, n.children[i]
 }
 
@@ -145,15 +151,14 @@ func (n *inner) insert(t *Tree, key, value uint64) (node, uint64, bool) {
 }
 
 func (n *inner) delete(key uint64) bool {
-	i := sort.Search(len(n.keys), func(i int) bool { return key < n.keys[i] })
-	return n.children[i].delete(key)
+	return n.children[search.UpperBound(n.keys, key)].delete(key)
 }
 
 func (l *leaf) find(t *Tree, key uint64) (int, bool) {
 	if t != nil {
 		t.stats.Compares += uint64(bits(len(l.keys)))
 	}
-	i := sort.Search(len(l.keys), func(i int) bool { return l.keys[i] >= key })
+	i := search.LowerBound(l.keys, key)
 	return i, i < len(l.keys) && l.keys[i] == key
 }
 
@@ -257,47 +262,75 @@ func (t *Tree) BulkLoad(keys, values []uint64) {
 	if per < 2 {
 		per = 2
 	}
-	var leaves []node
-	var seps []uint64 // first key of each leaf except the first
-	var prev *leaf
-	for i := 0; i < len(keys); i += per {
-		end := i + per
-		if end > len(keys) {
-			end = len(keys)
+	// Cache-conscious arena layout: one slab of leaf structs and two flat
+	// key/value slabs that every leaf slices into, instead of three small
+	// allocations per leaf. Each leaf's slices are capped at its own span
+	// (three-index slicing), so a post-load insert that grows a leaf
+	// reallocates that leaf privately and can never scribble on a sibling.
+	n := len(keys)
+	nLeaves := (n + per - 1) / per
+	leafArr := make([]leaf, nLeaves)
+	keySlab := make([]uint64, n)
+	valSlab := make([]uint64, n)
+	if n >= parLoadMin {
+		const chunk = 1 << 20
+		nc := (n + chunk - 1) / chunk
+		par.ForEach(nc, 0, func(c int) error {
+			lo, hi := c*chunk, (c+1)*chunk
+			if hi > n {
+				hi = n
+			}
+			copy(keySlab[lo:hi], keys[lo:hi])
+			copy(valSlab[lo:hi], values[lo:hi])
+			return nil
+		})
+	} else {
+		copy(keySlab, keys)
+		copy(valSlab, values)
+	}
+	leaves := make([]node, nLeaves)
+	seps := make([]uint64, 0, nLeaves) // first key of each leaf except the first
+	for li := 0; li < nLeaves; li++ {
+		start := li * per
+		end := start + per
+		if end > n {
+			end = n
 		}
-		lf := &leaf{
-			keys:   append([]uint64(nil), keys[i:end]...),
-			values: append([]uint64(nil), values[i:end]...),
-		}
-		if prev != nil {
-			prev.next = lf
+		lf := &leafArr[li]
+		lf.keys = keySlab[start:end:end]
+		lf.values = valSlab[start:end:end]
+		if li > 0 {
+			leafArr[li-1].next = lf
 			seps = append(seps, lf.keys[0])
 		}
-		prev = lf
-		leaves = append(leaves, lf)
+		leaves[li] = lf
 	}
 	t.root = buildLevel(leaves, seps, t.order)
 }
 
 // buildLevel assembles parents over children until a single root remains.
+// Each level's inner nodes come from one arena slab and slice into the
+// previous level's node and separator arrays (capacity-capped, so a later
+// split's append reallocates privately instead of aliasing a sibling).
 func buildLevel(children []node, seps []uint64, order int) node {
 	for len(children) > 1 {
 		per := order * 3 / 4
 		if per < 2 {
 			per = 2
 		}
-		var parents []node
-		var parentSeps []uint64
+		nPar := (len(children) + per) / (per + 1)
+		inners := make([]inner, nPar)
+		parents := make([]node, 0, nPar)
+		parentSeps := make([]uint64, 0, nPar)
 		for i := 0; i < len(children); i += per + 1 {
 			end := i + per + 1
 			if end > len(children) {
 				end = len(children)
 			}
-			in := &inner{
-				children: append([]node(nil), children[i:end]...),
-			}
-			if end-i-1 > 0 {
-				in.keys = append([]uint64(nil), seps[i:i+end-i-1]...)
+			in := &inners[len(parents)]
+			in.children = children[i:end:end]
+			if nk := end - i - 1; nk > 0 {
+				in.keys = seps[i : i+nk : i+nk]
 			}
 			if i > 0 {
 				parentSeps = append(parentSeps, seps[i-1])

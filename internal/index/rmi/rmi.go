@@ -14,9 +14,9 @@
 package rmi
 
 import (
-	"sort"
-
 	"repro/internal/index"
+	"repro/internal/par"
+	"repro/internal/search"
 	"repro/internal/stats"
 )
 
@@ -26,6 +26,13 @@ const DefaultStage2 = 1024
 // deltaMergeThreshold triggers an automatic retrain when the unsorted
 // delta grows beyond this fraction of the main array.
 const deltaMergeThreshold = 0.25
+
+// parTrainMin is the main-array size at which Retrain fans the routing
+// pass and per-leaf model fits out over internal/par. Below it, goroutine
+// overhead beats the win; above it, leaf fits are embarrassingly parallel
+// (each writes a disjoint ix.leaves slot), so results are byte-identical
+// at any parallelism.
+const parTrainMin = 1 << 15
 
 // Index is a two-stage RMI with a delta buffer for updates. Not safe for
 // concurrent use.
@@ -47,6 +54,16 @@ type Index struct {
 
 	st      index.Stats
 	trained bool
+
+	// Retrain scratch, reused across retrains so the periodic merges of a
+	// long drift run stop allocating: spareKeys/spareVals recycle the
+	// replaced main arrays as the next merge's destination; the rest are
+	// training work arrays.
+	spareKeys []uint64
+	spareVals []uint64
+	leafOf    []int
+	starts    []int
+	xs2, ys2  []float64
 }
 
 type leafModel struct {
@@ -105,10 +122,16 @@ func (ix *Index) BulkLoad(keys, values []uint64) {
 // model converts to training time.
 func (ix *Index) Retrain() int {
 	work := 0
-	// Merge delta + main, dropping tombstones.
+	// Merge delta + main, dropping tombstones. The destination reuses the
+	// arrays retired by the previous merge, so steady-state retrains under
+	// drift allocate nothing once capacities stabilize.
 	if len(ix.deltaKeys) > 0 || len(ix.tombstones) > 0 {
-		merged := make([]uint64, 0, len(ix.keys)+len(ix.deltaKeys))
-		mergedV := make([]uint64, 0, cap(merged))
+		need := len(ix.keys) + len(ix.deltaKeys)
+		merged, mergedV := ix.spareKeys[:0], ix.spareVals[:0]
+		if cap(merged) < need || cap(mergedV) < need {
+			merged = make([]uint64, 0, need)
+			mergedV = make([]uint64, 0, need)
+		}
 		i, j := 0, 0
 		for i < len(ix.keys) || j < len(ix.deltaKeys) {
 			var k, v uint64
@@ -132,6 +155,7 @@ func (ix *Index) Retrain() int {
 			mergedV = append(mergedV, v)
 		}
 		work += len(merged)
+		ix.spareKeys, ix.spareVals = ix.keys[:0], ix.values[:0]
 		ix.keys, ix.values = merged, mergedV
 		ix.deltaKeys = ix.deltaKeys[:0]
 		ix.deltaVals = ix.deltaVals[:0]
@@ -139,17 +163,30 @@ func (ix *Index) Retrain() int {
 	}
 
 	n := len(ix.keys)
-	ix.leaves = make([]leafModel, ix.stage2N)
+	if cap(ix.leaves) >= ix.stage2N {
+		ix.leaves = ix.leaves[:ix.stage2N]
+	} else {
+		ix.leaves = make([]leafModel, ix.stage2N)
+	}
 	if n == 0 {
+		for i := range ix.leaves {
+			ix.leaves[i] = leafModel{}
+		}
 		ix.root = stats.Linear{}
 		ix.trained = true
 		return work + 1
 	}
 
-	// Stage 1: map key -> leaf id over the full range.
-	xs2 := make([]float64, 0, minInt(n, 4096))
-	ys2 := make([]float64, 0, cap(xs2))
-	stride := n / cap(xs2)
+	// Stage 1: map key -> leaf id over the full range. sampleCap pins the
+	// sampling stride to the same value the buffers' capacity implied when
+	// they were allocated fresh, so reuse cannot change the fitted model.
+	sampleCap := minInt(n, 4096)
+	if cap(ix.xs2) < sampleCap {
+		ix.xs2 = make([]float64, 0, sampleCap)
+		ix.ys2 = make([]float64, 0, sampleCap)
+	}
+	xs2, ys2 := ix.xs2[:0], ix.ys2[:0]
+	stride := n / sampleCap
 	if stride < 1 {
 		stride = 1
 	}
@@ -163,15 +200,44 @@ func (ix *Index) Retrain() int {
 	// Partition keys among leaves by the root model's prediction, then
 	// fit each leaf on its own span. Using the root's own routing for
 	// training guarantees lookup-time routing sees the same partition.
-	starts := make([]int, ix.stage2N+1)
+	if cap(ix.starts) >= ix.stage2N+1 {
+		ix.starts = ix.starts[:ix.stage2N+1]
+	} else {
+		ix.starts = make([]int, ix.stage2N+1)
+	}
+	starts := ix.starts
 	for i := range starts {
 		starts[i] = -1
 	}
-	leafOf := make([]int, n)
+	if cap(ix.leafOf) >= n {
+		ix.leafOf = ix.leafOf[:n]
+	} else {
+		ix.leafOf = make([]int, n)
+	}
+	leafOf := ix.leafOf
+	// The routing pass is pure per element (the root model is fixed), so
+	// large arrays fan out in chunks; each chunk writes disjoint leafOf
+	// slots and the starts derivation below is a sequential scan.
+	if n >= parTrainMin {
+		const chunk = 1 << 15
+		nc := (n + chunk - 1) / chunk
+		par.ForEach(nc, 0, func(c int) error {
+			lo, hi := c*chunk, (c+1)*chunk
+			if hi > n {
+				hi = n
+			}
+			for i := lo; i < hi; i++ {
+				leafOf[i] = ix.root.PredictClamped(float64(ix.keys[i]), ix.stage2N)
+			}
+			return nil
+		})
+	} else {
+		for i := 0; i < n; i++ {
+			leafOf[i] = ix.root.PredictClamped(float64(ix.keys[i]), ix.stage2N)
+		}
+	}
 	for i := 0; i < n; i++ {
-		l := ix.root.PredictClamped(float64(ix.keys[i]), ix.stage2N)
-		leafOf[i] = l
-		if starts[l] == -1 {
+		if l := leafOf[i]; starts[l] == -1 {
 			starts[l] = i
 		}
 	}
@@ -183,12 +249,16 @@ func (ix *Index) Retrain() int {
 		}
 	}
 
-	for l := 0; l < ix.stage2N; l++ {
+	// Stage 2: fit each leaf on its own span. Fits are independent — each
+	// writes only its ix.leaves slot — so they fan out per leaf; the work
+	// tally (one unit per non-empty leaf, as the serial loop counted) is
+	// recomputed deterministically afterwards.
+	fit := func(l int) {
 		lo, hi := starts[l], starts[l+1]
 		if lo >= hi {
 			// Empty leaf: constant model pointing at the boundary.
 			ix.leaves[l] = leafModel{model: stats.Linear{Intercept: float64(lo)}, err: 0}
-			continue
+			return
 		}
 		seg := ix.keys[lo:hi]
 		m := fitSegment(seg, lo)
@@ -204,7 +274,21 @@ func (ix *Index) Retrain() int {
 			}
 		}
 		ix.leaves[l] = leafModel{model: m, err: maxErr}
-		work++
+	}
+	if n >= parTrainMin && ix.stage2N > 1 {
+		par.ForEach(ix.stage2N, 0, func(l int) error {
+			fit(l)
+			return nil
+		})
+	} else {
+		for l := 0; l < ix.stage2N; l++ {
+			fit(l)
+		}
+	}
+	for l := 0; l < ix.stage2N; l++ {
+		if starts[l] < starts[l+1] {
+			work++
+		}
 	}
 	ix.trained = true
 	return work
@@ -247,7 +331,13 @@ func (ix *Index) searchMain(key uint64) (int, bool) {
 	// Track model error for diagnostics.
 	span := hi - lo
 	ix.st.Compares += uint64(bits(span))
-	i := lo + sort.Search(span, func(i int) bool { return ix.keys[lo+i] >= key })
+	// Last-mile search: branchless lower bound over the error window.
+	// Index-exact equivalent of the sort.Search formulation, so
+	// virtual-clock outputs are unchanged. search.InterpolateLowerBound
+	// was measured here too and lost at every window size this hardware
+	// produces (its 128-bit divisions cost more than the probes they save
+	// — see BenchmarkBoundedWindow); it stays available for wider windows.
+	i := search.LowerBoundRange(ix.keys, lo, hi, key)
 	if i < n && ix.keys[i] == key {
 		d := i - pred
 		if d < 0 {
@@ -275,7 +365,7 @@ func (ix *Index) Get(key uint64) (uint64, bool) {
 		return 0, false
 	}
 	// Delta first: it overrides the main array.
-	if j := sort.Search(len(ix.deltaKeys), func(i int) bool { return ix.deltaKeys[i] >= key }); j < len(ix.deltaKeys) && ix.deltaKeys[j] == key {
+	if j := search.LowerBound(ix.deltaKeys, key); j < len(ix.deltaKeys) && ix.deltaKeys[j] == key {
 		return ix.deltaVals[j], true
 	}
 	if i, ok := ix.searchMain(key); ok {
@@ -295,7 +385,7 @@ func (ix *Index) Insert(key, value uint64) {
 		ix.values[i] = value
 		return
 	}
-	j := sort.Search(len(ix.deltaKeys), func(i int) bool { return ix.deltaKeys[i] >= key })
+	j := search.LowerBound(ix.deltaKeys, key)
 	if j < len(ix.deltaKeys) && ix.deltaKeys[j] == key {
 		ix.deltaVals[j] = value
 		return
@@ -323,7 +413,7 @@ func (ix *Index) Delete(key uint64) bool {
 	if _, dead := ix.tombstones[key]; dead {
 		return false
 	}
-	if j := sort.Search(len(ix.deltaKeys), func(i int) bool { return ix.deltaKeys[i] >= key }); j < len(ix.deltaKeys) && ix.deltaKeys[j] == key {
+	if j := search.LowerBound(ix.deltaKeys, key); j < len(ix.deltaKeys) && ix.deltaKeys[j] == key {
 		ix.deltaKeys = append(ix.deltaKeys[:j], ix.deltaKeys[j+1:]...)
 		ix.deltaVals = append(ix.deltaVals[:j], ix.deltaVals[j+1:]...)
 		return true
@@ -343,7 +433,7 @@ func (ix *Index) Scan(lo, hi uint64, fn func(key, value uint64) bool) int {
 	}
 	i, _ := ix.searchMain(lo)
 	if !ix.trained {
-		i = sort.Search(len(ix.keys), func(i int) bool { return ix.keys[i] >= lo })
+		i = search.LowerBound(ix.keys, lo)
 	}
 	// The trained error bound holds for present keys; for an absent scan
 	// bound the insertion point can sit just outside the searched window.
@@ -354,7 +444,7 @@ func (ix *Index) Scan(lo, hi uint64, fn func(key, value uint64) bool) int {
 	for i < len(ix.keys) && ix.keys[i] < lo {
 		i++
 	}
-	j := sort.Search(len(ix.deltaKeys), func(j int) bool { return ix.deltaKeys[j] >= lo })
+	j := search.LowerBound(ix.deltaKeys, lo)
 	visited := 0
 	for i < len(ix.keys) || j < len(ix.deltaKeys) {
 		var k, v uint64

@@ -1,9 +1,8 @@
 package kv
 
 import (
-	"sort"
-
 	"repro/internal/kv/bloom"
+	"repro/internal/search"
 )
 
 // tombstoneVal marks deletions inside runs. Values written by users are
@@ -55,7 +54,7 @@ func (r *run) get(key uint64) (entry, bool, int) {
 	}
 	probes := 0
 	// Sparse index narrows to a block of sparseEvery entries.
-	b := sort.Search(len(r.sparse), func(i int) bool { return r.sparse[i] > key })
+	b := search.UpperBound(r.sparse, key)
 	if b == 0 {
 		// sparse[0] is entries[0].key, so key below it is absent.
 		if key < r.entries[0].key {
@@ -69,7 +68,7 @@ func (r *run) get(key uint64) (entry, bool, int) {
 		hi = len(r.entries)
 	}
 	probes = hi - lo
-	i := lo + sort.Search(hi-lo, func(i int) bool { return r.entries[lo+i].key >= key })
+	i := lowerBoundEntries(r.entries, lo, hi, key)
 	if i < len(r.entries) && r.entries[i].key == key {
 		return r.entries[i], true, probes
 	}
@@ -78,7 +77,7 @@ func (r *run) get(key uint64) (entry, bool, int) {
 
 // lowerBound returns the index of the first entry with key >= lo.
 func (r *run) lowerBound(lo uint64) int {
-	b := sort.Search(len(r.sparse), func(i int) bool { return r.sparse[i] >= lo })
+	b := search.LowerBound(r.sparse, lo)
 	start := 0
 	if b > 0 {
 		start = (b - 1) * r.sparseEvery
@@ -90,7 +89,26 @@ func (r *run) lowerBound(lo uint64) int {
 	if start > end {
 		start = end
 	}
-	return start + sort.Search(end-start, func(i int) bool { return r.entries[start+i].key >= lo })
+	return lowerBoundEntries(r.entries, start, end, lo)
+}
+
+// lowerBoundEntries is the branchless lower bound over a window of an
+// entry slice: the smallest i in [lo, hi] with entries[i].key >= key.
+// Same kernel as search.LowerBound, restated because the key lives inside
+// a struct.
+func lowerBoundEntries(entries []entry, lo, hi int, key uint64) int {
+	base, n := lo, hi-lo
+	for n > 1 {
+		half := n >> 1
+		if entries[base+half-1].key < key {
+			base += half
+		}
+		n -= half
+	}
+	if n == 1 && entries[base].key < key {
+		base++
+	}
+	return base
 }
 
 // mergeRuns merges newest-to-oldest ordered runs into one deduplicated run

@@ -1,7 +1,7 @@
 package kv
 
 import (
-	"sort"
+	"repro/internal/search"
 )
 
 // Store is an in-memory log-structured KV store: writes land in a sorted
@@ -63,7 +63,7 @@ func (s *Store) SetKnobs(k Knobs) {
 
 // memFind locates key in the memtable.
 func (s *Store) memFind(key uint64) (int, bool) {
-	i := sort.Search(len(s.memKeys), func(i int) bool { return s.memKeys[i] >= key })
+	i := search.LowerBound(s.memKeys, key)
 	return i, i < len(s.memKeys) && s.memKeys[i] == key
 }
 

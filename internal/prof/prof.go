@@ -1,0 +1,54 @@
+// Package prof wires the conventional -cpuprofile/-memprofile flags into
+// the CLI binaries. The perf campaign's workflow is: reproduce a hot path
+// under cmd/lsbench or cmd/figures with profiling on, feed the output to
+// `go tool pprof`, and check the flame graph against DESIGN.md's hot-path
+// inventory.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath (skipped when empty) and returns a
+// stop function that ends the CPU profile and, when memPath is non-empty,
+// writes a GC-settled heap profile there. The stop function logs rather
+// than fails: a broken profile write should never mask the run's output.
+func Start(cpuPath, memPath string) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "prof: closing cpu profile:", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "prof: creating mem profile:", err)
+				return
+			}
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "prof: writing mem profile:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "prof: closing mem profile:", err)
+			}
+		}
+	}, nil
+}

@@ -1,0 +1,276 @@
+package search
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refLowerBound is the sort.Search formulation every kernel is pinned to.
+func refLowerBound(a []uint64, key uint64) int {
+	return sort.Search(len(a), func(i int) bool { return a[i] >= key })
+}
+
+func refUpperBound(a []uint64, key uint64) int {
+	return sort.Search(len(a), func(i int) bool { return a[i] > key })
+}
+
+// sortedCase generates a random sorted slice with duplicates: small strides
+// keep duplicate runs common, and the offset exercises non-zero minima.
+func sortedCase(rng *rand.Rand, n int) []uint64 {
+	a := make([]uint64, n)
+	cur := rng.Uint64() % 1000
+	for i := range a {
+		a[i] = cur
+		cur += rng.Uint64() % 3 // 1/3 chance of duplicate
+	}
+	return a
+}
+
+// probeKeys returns the interesting keys for a sorted slice: every element,
+// every element ±1, and the extremes of the domain.
+func probeKeys(a []uint64) []uint64 {
+	keys := []uint64{0, 1, ^uint64(0), ^uint64(0) - 1}
+	for _, v := range a {
+		keys = append(keys, v)
+		if v > 0 {
+			keys = append(keys, v-1)
+		}
+		keys = append(keys, v+1)
+	}
+	return keys
+}
+
+func TestLowerBoundEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 2, 3, 7, 8, 31, 32, 100, 1000} {
+		for trial := 0; trial < 20; trial++ {
+			a := sortedCase(rng, n)
+			for _, k := range probeKeys(a) {
+				if got, want := LowerBound(a, k), refLowerBound(a, k); got != want {
+					t.Fatalf("LowerBound(%v, %d) = %d, want %d", a, k, got, want)
+				}
+				if got, want := UpperBound(a, k), refUpperBound(a, k); got != want {
+					t.Fatalf("UpperBound(%v, %d) = %d, want %d", a, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestLowerBoundAllEqual(t *testing.T) {
+	a := []uint64{5, 5, 5, 5, 5, 5, 5}
+	if got := LowerBound(a, 5); got != 0 {
+		t.Fatalf("LowerBound all-equal = %d, want 0", got)
+	}
+	if got := UpperBound(a, 5); got != len(a) {
+		t.Fatalf("UpperBound all-equal = %d, want %d", got, len(a))
+	}
+	if got := LowerBound(a, 4); got != 0 {
+		t.Fatalf("LowerBound below = %d, want 0", got)
+	}
+	if got := LowerBound(a, 6); got != len(a) {
+		t.Fatalf("LowerBound above = %d, want %d", got, len(a))
+	}
+}
+
+func TestLowerBoundRangeEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		a := sortedCase(rng, 200)
+		for sub := 0; sub < 20; sub++ {
+			lo := rng.Intn(len(a) + 1)
+			hi := lo + rng.Intn(len(a)+1-lo)
+			for _, k := range []uint64{a[0], a[len(a)-1], a[(lo+hi)/2%len(a)], 0, ^uint64(0)} {
+				want := lo + refLowerBound(a[lo:hi], k)
+				if got := LowerBoundRange(a, lo, hi, k); got != want {
+					t.Fatalf("LowerBoundRange(lo=%d, hi=%d, %d) = %d, want %d", lo, hi, k, got, want)
+				}
+				if got := InterpolateLowerBound(a, lo, hi, k); got != want {
+					t.Fatalf("InterpolateLowerBound(lo=%d, hi=%d, %d) = %d, want %d", lo, hi, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestInterpolateExtremeSkew exercises the interpolation path on data where
+// the linear guess is maximally wrong: one huge outlier at each end, and
+// full-domain spans that stress the 128-bit midpoint arithmetic.
+func TestInterpolateExtremeSkew(t *testing.T) {
+	a := make([]uint64, 200)
+	for i := 1; i < len(a)-1; i++ {
+		a[i] = uint64(i) // dense middle
+	}
+	a[0] = 0
+	a[len(a)-1] = ^uint64(0) // full-domain span
+	for _, k := range probeKeys(a) {
+		want := refLowerBound(a, k)
+		if got := InterpolateLowerBound(a, 0, len(a), k); got != want {
+			t.Fatalf("InterpolateLowerBound(skew, %d) = %d, want %d", k, got, want)
+		}
+	}
+	// Window entirely of duplicates: span == 0 must not divide.
+	dup := []uint64{9, 9, 9, 9, 9, 9, 9, 9, 9, 9}
+	for _, k := range []uint64{8, 9, 10} {
+		want := refLowerBound(dup, k)
+		if got := InterpolateLowerBound(dup, 0, len(dup), k); got != want {
+			t.Fatalf("InterpolateLowerBound(dup, %d) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestInterpolateEmptyAndTinyWindows(t *testing.T) {
+	a := []uint64{1, 3, 5, 7, 9, 11, 13}
+	for lo := 0; lo <= len(a); lo++ {
+		for hi := lo; hi <= len(a); hi++ {
+			for k := uint64(0); k <= 14; k++ {
+				want := lo + refLowerBound(a[lo:hi], k)
+				if got := InterpolateLowerBound(a, lo, hi, k); got != want {
+					t.Fatalf("InterpolateLowerBound(a, %d, %d, %d) = %d, want %d", lo, hi, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+// FuzzLowerBound cross-checks both bounds against sort.Search on arbitrary
+// sorted inputs derived from fuzz bytes.
+func FuzzLowerBound(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint64(3))
+	f.Add([]byte{}, uint64(0))
+	f.Add([]byte{0, 0, 0, 0}, uint64(0))
+	f.Fuzz(func(t *testing.T, raw []byte, key uint64) {
+		a := make([]uint64, 0, len(raw))
+		var cur uint64
+		for _, b := range raw {
+			cur += uint64(b) // deltas >= 0 keep it sorted, zeros make dups
+			a = append(a, cur)
+		}
+		if got, want := LowerBound(a, key), refLowerBound(a, key); got != want {
+			t.Fatalf("LowerBound(%v, %d) = %d, want %d", a, key, got, want)
+		}
+		if got, want := UpperBound(a, key), refUpperBound(a, key); got != want {
+			t.Fatalf("UpperBound(%v, %d) = %d, want %d", a, key, got, want)
+		}
+	})
+}
+
+// FuzzInterpolateLowerBound cross-checks the interpolating bounded search
+// against sort.Search on arbitrary sorted windows.
+func FuzzInterpolateLowerBound(f *testing.F) {
+	f.Add([]byte{10, 20, 30, 40, 50}, uint64(25), uint8(0), uint8(5))
+	f.Add([]byte{0, 255, 255, 255}, uint64(1), uint8(1), uint8(3))
+	f.Fuzz(func(t *testing.T, raw []byte, key uint64, loB, hiB uint8) {
+		a := make([]uint64, 0, len(raw))
+		var cur uint64
+		for _, b := range raw {
+			// Large strides stress the interpolation midpoint math.
+			cur += uint64(b) << 48
+			a = append(a, cur)
+		}
+		lo, hi := int(loB), int(hiB)
+		if lo > len(a) {
+			lo = len(a)
+		}
+		if hi > len(a) {
+			hi = len(a)
+		}
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		want := lo + refLowerBound(a[lo:hi], key)
+		if got := InterpolateLowerBound(a, lo, hi, key); got != want {
+			t.Fatalf("InterpolateLowerBound(%v, %d, %d, %d) = %d, want %d", a, lo, hi, key, got, want)
+		}
+	})
+}
+
+// --- Benchmarks: branchless kernels vs the sort.Search formulation --------
+
+var sink int
+
+func benchKeys(n int) []uint64 {
+	rng := rand.New(rand.NewSource(7))
+	a := make([]uint64, n)
+	cur := uint64(0)
+	for i := range a {
+		cur += 1 + rng.Uint64()%16
+		a[i] = cur
+	}
+	return a
+}
+
+func BenchmarkLowerBound(b *testing.B) {
+	a := benchKeys(1 << 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	s := 0
+	for i := 0; i < b.N; i++ {
+		s += LowerBound(a, a[(i*16777619)%len(a)])
+	}
+	sink = s
+}
+
+func BenchmarkSortSearch(b *testing.B) {
+	a := benchKeys(1 << 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	s := 0
+	for i := 0; i < b.N; i++ {
+		k := a[(i*16777619)%len(a)]
+		s += sort.Search(len(a), func(j int) bool { return a[j] >= k })
+	}
+	sink = s
+}
+
+// BenchmarkBoundedWindow compares the last-mile strategies inside a
+// learned index's error window, across the window sizes that matter: small
+// windows (tight models) must favor the pure branchless loop, huge windows
+// (coarse models at 100M+ keys) are where interpolation's division cost
+// pays for itself by cutting the probe count.
+func BenchmarkBoundedWindow(b *testing.B) {
+	a := benchKeys(1 << 20)
+	for _, win := range []int{64, 256, 4096, 65536} {
+		win := win
+		pos := func(i int) (int, int, uint64) {
+			p := (i * 16777619) % len(a)
+			lo, hi := p-win/2, p+win/2
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > len(a) {
+				hi = len(a)
+			}
+			return lo, hi, a[p]
+		}
+		b.Run(fmt.Sprintf("win=%d/sort.Search", win), func(b *testing.B) {
+			b.ReportAllocs()
+			s := 0
+			for i := 0; i < b.N; i++ {
+				lo, hi, k := pos(i)
+				s += lo + sort.Search(hi-lo, func(j int) bool { return a[lo+j] >= k })
+			}
+			sink = s
+		})
+		b.Run(fmt.Sprintf("win=%d/branchless", win), func(b *testing.B) {
+			b.ReportAllocs()
+			s := 0
+			for i := 0; i < b.N; i++ {
+				lo, hi, k := pos(i)
+				s += LowerBoundRange(a, lo, hi, k)
+			}
+			sink = s
+		})
+		b.Run(fmt.Sprintf("win=%d/interpolate", win), func(b *testing.B) {
+			b.ReportAllocs()
+			s := 0
+			for i := 0; i < b.N; i++ {
+				lo, hi, k := pos(i)
+				s += InterpolateLowerBound(a, lo, hi, k)
+			}
+			sink = s
+		})
+	}
+}

@@ -105,6 +105,9 @@ type Generator struct {
 	mix  Mix
 	end  *Mix
 	rng  *stats.RNG
+	// keyBuf receives single-key draws so the per-op path allocates
+	// nothing; drifts fill it in place via distgen.FillAt.
+	keyBuf [1]uint64
 }
 
 // NewGenerator returns a generator for spec seeded deterministically.
@@ -169,12 +172,14 @@ func (g *Generator) Next(progress float64) Op {
 }
 
 func (g *Generator) accessKey(p float64) uint64 {
-	return g.spec.Access.KeysAt(p, 1)[0]
+	distgen.FillAt(g.spec.Access, p, g.keyBuf[:])
+	return g.keyBuf[0]
 }
 
 func (g *Generator) insertKey(p float64) uint64 {
 	if g.spec.InsertKeys != nil {
-		return g.spec.InsertKeys.KeysAt(p, 1)[0]
+		distgen.FillAt(g.spec.InsertKeys, p, g.keyBuf[:])
+		return g.keyBuf[0]
 	}
 	return g.accessKey(p)
 }
