@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race race test-cluster test-disk check cover bench bench-smoke bench-baseline bench-check bench-large figures examples clean
+.PHONY: all build vet test test-race race test-cluster test-disk test-trace check cover bench bench-smoke bench-baseline bench-check bench-large figures examples clean
 
 # bench-large dataset size. The committed default (1M) keeps CI minutes
 # sane; the real tier is LARGE_N=100000000 (see EXPERIMENTS.md for the
@@ -40,6 +40,17 @@ test-cluster:
 test-disk:
 	$(GO) test -race -count=1 ./internal/pager/ ./internal/index/diskbtree/ ./internal/kv/ ./internal/tuner/
 	$(GO) test -race -count=1 -run 'TestFig1f' ./internal/figures/
+
+# The trace tier: the workload Source seam, binary trace codec (round-trip,
+# fuzz corpus, torn-tail truncation), synthesizer fidelity, and the layers
+# that record/replay through them (runner goldens, config source clause,
+# service trace endpoints, driver replay over the network), under the race
+# detector — recording tees op streams off concurrently dispatching workers.
+test-trace:
+	$(GO) test -race -count=1 ./internal/workload/ ./internal/config/
+	$(GO) test -race -count=1 -run 'TestTraceReplayByteIdentity' .
+	$(GO) test -race -count=1 -run 'TestJobTrace' ./internal/service/
+	$(GO) test -race -count=1 -run 'TestDriverReplayOverNetwork' ./internal/netdriver/
 
 # check is the full local CI gate: build, vet, tier-1 tests, race tier.
 check: build vet test test-race

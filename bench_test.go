@@ -549,6 +549,58 @@ func BenchmarkMicroRunnerDispatch(b *testing.B) {
 	}
 }
 
+// BenchmarkTraceReplay measures the replay seam: each iteration copies one
+// 64-op batch (ops + gaps) out of a pinned in-memory trace through
+// TraceReader.Fill — the exact path the runner takes for materialized
+// phases and recorded-trace replay. Replay is a pure copy and must stay at
+// 0 allocs/op, so substituting a trace for a generator never perturbs the
+// measured system with garbage.
+func BenchmarkTraceReplay(b *testing.B) {
+	const n, batch = 1 << 16, 64
+	src := workload.NewSource(workload.Spec{
+		Mix:    workload.Mix{GetFrac: 0.7, PutFrac: 0.2, DeleteFrac: 0.05, ScanFrac: 0.05, ScanLimit: 16},
+		Access: distgen.Static{G: distgen.NewUniform(2, 0, 1<<40)},
+	}, nil, 1)
+	ops := make([]workload.Op, n)
+	gaps := make([]int64, n)
+	src.Fill(ops, gaps, 0, n)
+	tr := workload.NewTraceReader("bench", ops, gaps)
+	bo := make([]workload.Op, batch)
+	bg := make([]int64, batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pos := (i % (n / batch)) * batch
+		if got := tr.Fill(bo, bg, pos, n); got != batch {
+			b.Fatalf("short fill at pos %d: %d", pos, got)
+		}
+	}
+}
+
+// BenchmarkSynthFill measures the synthesizer's per-batch op generation:
+// statistics are fitted once from a recorded stream (setup, untimed), then
+// each iteration draws one 64-op batch from the fitted popularity/gap/mix
+// model with Redbench-style repetition enabled.
+func BenchmarkSynthFill(b *testing.B) {
+	const n, batch = 1 << 16, 64
+	src := workload.NewSource(workload.Spec{
+		Mix:    workload.Mix{GetFrac: 0.7, PutFrac: 0.2, DeleteFrac: 0.05, ScanFrac: 0.05, ScanLimit: 16},
+		Access: distgen.Static{G: distgen.NewZipfKeys(3, 1.1, 1<<22)},
+	}, nil, 1)
+	ops := make([]workload.Op, n)
+	gaps := make([]int64, n)
+	src.Fill(ops, gaps, 0, n)
+	st := workload.FitStream(ops, gaps, workload.FitOptions{})
+	syn := workload.NewSynthesizer(st, 7, 0.25)
+	bo := make([]workload.Op, batch)
+	bg := make([]int64, batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		syn.Fill(bo, bg, i*batch, 1<<30)
+	}
+}
+
 // --- Large-scale tier ------------------------------------------------------
 //
 // The benchmarks below run against a datagen-scale dataset: 100M keys by

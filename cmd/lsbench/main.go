@@ -10,6 +10,11 @@
 //	lsbench -example            # print a starter config and exit
 //	lsbench -remote host:port   # drive a remote SUT (netdriver server)
 //	lsbench ... -faults spec    # inject a deterministic fault plan
+//	lsbench ... -record t.lstrace       # record the executed op stream
+//	lsbench ... -replay t.lstrace       # replay a recording verbatim
+//	lsbench ... -synth-from t.lstrace   # drive phases with load fitted
+//	                                    # from a recording (-repeat-frac
+//	                                    # adds temporal locality)
 //
 // With -remote the scenario runs in real time over TCP via the concurrent
 // driver; otherwise it runs on the deterministic virtual clock.
@@ -42,6 +47,7 @@ import (
 	"repro/internal/prof"
 	"repro/internal/report"
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 const exampleConfig = `{
@@ -83,6 +89,10 @@ func main() {
 		poolPolicy = flag.String("pool-policy", "lru", "buffer-pool eviction policy for disk-backed SUTs: lru, clock, 2q")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		record     = flag.String("record", "", "record the executed op stream to this trace file (first SUT's run; with -remote, the driver run)")
+		replay     = flag.String("replay", "", "replay this recorded trace instead of the config's phases")
+		synthFrom  = flag.String("synth-from", "", "fit this recorded trace and drive the config's phases with synthesized lookalike load")
+		repeatFrac = flag.Float64("repeat-frac", 0, "with -synth-from: fraction of keys re-drawn from the recently issued window [0,1)")
 	)
 	flag.Parse()
 
@@ -108,9 +118,60 @@ func main() {
 		fatal(err)
 	}
 
+	if *replay != "" && *synthFrom != "" {
+		fatal(fmt.Errorf("-replay and -synth-from are mutually exclusive"))
+	}
+	if *repeatFrac < 0 || *repeatFrac >= 1 {
+		fatal(fmt.Errorf("-repeat-frac %v outside [0,1)", *repeatFrac))
+	}
+	var so sourceOpts
+	so.record = *record
+	so.repeatFrac = *repeatFrac
+	if *replay != "" {
+		tr, err := workload.ReadTraceFile(*replay)
+		if err != nil {
+			fatal(err)
+		}
+		if tr.Truncated {
+			fmt.Fprintf(os.Stderr, "lsbench: warning: %s has a torn tail, replaying the intact %d ops\n", *replay, tr.TotalOps())
+		}
+		so.replay = tr
+	}
+	if *synthFrom != "" {
+		tr, err := workload.ReadTraceFile(*synthFrom)
+		if err != nil {
+			fatal(err)
+		}
+		st := workload.FitTrace(tr, workload.FitOptions{})
+		if st.Ops == 0 {
+			fatal(fmt.Errorf("%s is empty, nothing to fit", *synthFrom))
+		}
+		so.stats = st
+	}
+
 	if *remote != "" {
-		runRemote(scenario, *remote, *workers, *batch, plan)
+		runRemote(scenario, *remote, *workers, *batch, plan, so)
 		return
+	}
+
+	// Virtual mode: -replay replaces the config's phases with the
+	// recording; -synth-from keeps the phase structure but swaps each
+	// phase's op source for a fitted synthesizer (the runner reseeds it
+	// per phase, so every SUT replays the identical synthetic stream).
+	if so.replay != nil {
+		scenario.Phases = nil
+		for pi, ph := range so.replay.Phases {
+			scenario.Phases = append(scenario.Phases, core.Phase{
+				Name:   ph.Name,
+				Ops:    len(ph.Ops),
+				Source: so.replay.PhaseReader(pi),
+			})
+		}
+	}
+	if so.stats != nil {
+		for pi := range scenario.Phases {
+			scenario.Phases[pi].Source = workload.NewSynthesizer(so.stats, workload.PhaseSeed(scenario.Seed, pi), so.repeatFrac)
+		}
 	}
 
 	poolKnobs := pager.PoolKnobs{Pages: *poolPages, Policy: *poolPolicy}.Validate()
@@ -129,7 +190,7 @@ func main() {
 	}
 	var results []*core.Result
 	var injectors []*fault.Injector
-	for _, name := range strings.Split(*suts, ",") {
+	for i, name := range strings.Split(*suts, ",") {
 		name = strings.TrimSpace(name)
 		f, ok := factories[name]
 		if !ok {
@@ -146,9 +207,33 @@ func main() {
 				return fault.Wrap(s, inj)
 			}
 		}
+		// Every SUT sees the same stream, so recording the first run
+		// captures the shared workload once.
+		var tw *workload.TraceWriter
+		var tf *os.File
+		if so.record != "" && i == 0 {
+			tf, err = os.Create(so.record)
+			if err != nil {
+				fatal(err)
+			}
+			tw = workload.NewTraceWriter(tf, scenario.Name, scenario.Seed)
+			runner.TraceSink = tw
+		}
 		res, err := runner.Run(scenario, f())
+		if tw != nil {
+			cErr := tw.Close()
+			if fErr := tf.Close(); cErr == nil {
+				cErr = fErr
+			}
+			if err == nil {
+				err = cErr
+			}
+		}
 		if err != nil {
 			fatal(err)
+		}
+		if tw != nil {
+			fmt.Printf("op stream recorded to %s\n\n", so.record)
 		}
 		results = append(results, res)
 		injectors = append(injectors, inj)
@@ -177,8 +262,16 @@ func printRobustness(results []*core.Result, injectors []*fault.Injector, plan f
 	}
 }
 
-func runRemote(scenario core.Scenario, addr string, workers, batch int, plan fault.Plan) {
-	if len(scenario.Phases) != 1 {
+// sourceOpts carries the trace/synth CLI selections into the run paths.
+type sourceOpts struct {
+	record     string
+	replay     *workload.Trace
+	stats      *workload.TraceStats
+	repeatFrac float64
+}
+
+func runRemote(scenario core.Scenario, addr string, workers, batch int, plan fault.Plan, so sourceOpts) {
+	if so.replay == nil && len(scenario.Phases) != 1 {
 		fatal(fmt.Errorf("-remote mode supports single-phase scenarios"))
 	}
 	opts := netdriver.Options{}
@@ -203,16 +296,59 @@ func runRemote(scenario core.Scenario, addr string, workers, batch int, plan fau
 	if inj != nil {
 		sut = fault.Wrap(c, inj)
 	}
-	res, err := driver.Run(sut, scenario.Phases[0].Workload,
-		scenario.InitialData, scenario.InitialSize, driver.Options{
-			Workers: workers,
-			Ops:     scenario.Phases[0].Ops,
-			Seed:    scenario.Seed,
-			SLANs:   scenario.SLANs,
-			Batch:   batch,
-		})
+	var spec workload.Spec
+	dopts := driver.Options{
+		Workers: workers,
+		Seed:    scenario.Seed,
+		SLANs:   scenario.SLANs,
+		Batch:   batch,
+	}
+	switch {
+	case so.replay != nil:
+		// Replay flattens the recording into one in-order stream; a
+		// single worker preserves the recorded op order exactly.
+		r := so.replay.Reader()
+		dopts.Workers = 1
+		dopts.Ops = r.Len()
+		dopts.Sources = func(int) workload.Source { return r }
+		if workers != 1 {
+			fmt.Fprintln(os.Stderr, "lsbench: -replay forces -workers 1 (recorded order is a single stream)")
+		}
+	case so.stats != nil:
+		dopts.Ops = scenario.Phases[0].Ops
+		dopts.Sources = func(w int) workload.Source {
+			return workload.NewSynthesizer(so.stats, workload.PhaseSeed(scenario.Seed, w), so.repeatFrac)
+		}
+	default:
+		spec = scenario.Phases[0].Workload
+		dopts.Ops = scenario.Phases[0].Ops
+	}
+	var tw *workload.TraceWriter
+	var tf *os.File
+	if so.record != "" {
+		var err error
+		tf, err = os.Create(so.record)
+		if err != nil {
+			fatal(err)
+		}
+		tw = workload.NewTraceWriter(tf, scenario.Name, scenario.Seed)
+		dopts.TraceSink = tw
+	}
+	res, err := driver.Run(sut, spec, scenario.InitialData, scenario.InitialSize, dopts)
+	if tw != nil {
+		cErr := tw.Close()
+		if fErr := tf.Close(); cErr == nil {
+			cErr = fErr
+		}
+		if err == nil {
+			err = cErr
+		}
+	}
 	if err != nil {
 		fatal(err)
+	}
+	if tw != nil {
+		fmt.Printf("op stream recorded to %s (one trace phase per worker)\n", so.record)
 	}
 	if cerr := c.Err(); cerr != nil {
 		fatal(fmt.Errorf("remote session failed mid-run (results incomplete): %w", cerr))

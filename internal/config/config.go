@@ -6,6 +6,7 @@
 package config
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -37,6 +38,107 @@ type Phase struct {
 	MixEnd        *MixSpec     `json:"mixEnd,omitempty"`
 	Arrival       *ArrivalSpec `json:"arrival,omitempty"`
 	RetrainBefore bool         `json:"retrainBefore"`
+	// Source selects where the phase's op stream comes from. Absent (or
+	// kind "generator") means the Mix/Access/Arrival specs above; kinds
+	// "trace" and "synth" draw from a recorded trace instead, and the
+	// spec fields may then be omitted entirely.
+	Source *SourceSpec `json:"source,omitempty"`
+}
+
+// SourceSpec selects a non-generator operation source for a phase.
+type SourceSpec struct {
+	// Kind is "generator" (default), "trace" (replay a recorded trace
+	// verbatim), or "synth" (fit the trace's statistics and generate
+	// unbounded seeded lookalike load).
+	Kind string `json:"kind"`
+	// Path is the trace file to replay or fit.
+	Path string `json:"path,omitempty"`
+	// Data inlines the trace bytes (base64 in JSON) — how service
+	// submitters attach a trace without a shared filesystem. Takes
+	// precedence over Path.
+	Data []byte `json:"data,omitempty"`
+	// Phase selects one phase of the trace; nil uses the whole trace
+	// flattened (replay) or fits across all phases (synth).
+	Phase *int `json:"phase,omitempty"`
+	// RepeatFrac is the synth repetition knob: the fraction of keys
+	// re-drawn from the recently issued window (Redbench-style temporal
+	// locality). 0 ≤ RepeatFrac < 1.
+	RepeatFrac float64 `json:"repeatFrac,omitempty"`
+	// TopK / Buckets tune the fit (defaults: 64 head keys, 256 tail
+	// buckets).
+	TopK    int `json:"topK,omitempty"`
+	Buckets int `json:"buckets,omitempty"`
+}
+
+// build resolves the spec into a Source. The returned length is the
+// source's bounded op count (0 for unbounded synth), used to default the
+// phase's Ops. traces caches decoded files so several phases replaying
+// from one recording parse it once.
+func (sp SourceSpec) build(base uint64, traces map[string]*workload.Trace) (workload.Source, int, error) {
+	tr, err := sp.trace(traces)
+	if err != nil {
+		return nil, 0, err
+	}
+	switch sp.Kind {
+	case "trace":
+		if sp.Phase != nil {
+			pi := *sp.Phase
+			if pi < 0 || pi >= len(tr.Phases) {
+				return nil, 0, fmt.Errorf("config: trace has %d phases, no phase %d", len(tr.Phases), pi)
+			}
+			r := tr.PhaseReader(pi)
+			return r, r.Len(), nil
+		}
+		r := tr.Reader()
+		return r, r.Len(), nil
+	case "synth":
+		if sp.RepeatFrac < 0 || sp.RepeatFrac >= 1 {
+			return nil, 0, fmt.Errorf("config: repeatFrac %v outside [0,1)", sp.RepeatFrac)
+		}
+		opt := workload.FitOptions{TopK: sp.TopK, TailBuckets: sp.Buckets}
+		var st *workload.TraceStats
+		if sp.Phase != nil {
+			pi := *sp.Phase
+			if pi < 0 || pi >= len(tr.Phases) {
+				return nil, 0, fmt.Errorf("config: trace has %d phases, no phase %d", len(tr.Phases), pi)
+			}
+			ph := tr.Phases[pi]
+			st = workload.FitStream(ph.Ops, ph.Gaps, opt)
+		} else {
+			st = workload.FitTrace(tr, opt)
+		}
+		if st.Ops == 0 {
+			return nil, 0, fmt.Errorf("config: trace is empty, nothing to fit")
+		}
+		// The runner reseeds the synthesizer per phase; base is only
+		// the fallback for direct use.
+		return workload.NewSynthesizer(st, base, sp.RepeatFrac), 0, nil
+	default:
+		return nil, 0, fmt.Errorf("config: unknown source kind %q", sp.Kind)
+	}
+}
+
+// trace loads the referenced trace from inline data or the path cache.
+func (sp SourceSpec) trace(traces map[string]*workload.Trace) (*workload.Trace, error) {
+	if len(sp.Data) > 0 {
+		tr, err := workload.ReadTrace(bytes.NewReader(sp.Data))
+		if err != nil {
+			return nil, fmt.Errorf("config: inline trace: %w", err)
+		}
+		return tr, nil
+	}
+	if sp.Path == "" {
+		return nil, fmt.Errorf("config: %s source requires path or data", sp.Kind)
+	}
+	if tr, ok := traces[sp.Path]; ok {
+		return tr, nil
+	}
+	tr, err := workload.ReadTraceFile(sp.Path)
+	if err != nil {
+		return nil, err
+	}
+	traces[sp.Path] = tr
+	return tr, nil
 }
 
 // MixSpec is an operation mix.
@@ -303,8 +405,29 @@ func (s Scenario) Build() (core.Scenario, error) {
 		return core.Scenario{}, fmt.Errorf("config: initialData: %w", err)
 	}
 	out.InitialData = gen
+	traces := make(map[string]*workload.Trace)
 	for i, p := range s.Phases {
 		base := s.Seed + uint64(i+2)*1009
+		if p.Source != nil && p.Source.Kind != "" && p.Source.Kind != "generator" {
+			src, n, err := p.Source.build(base, traces)
+			if err != nil {
+				return core.Scenario{}, fmt.Errorf("config: phase %d source: %w", i, err)
+			}
+			ops := p.Ops
+			if ops == 0 {
+				ops = n // trace replay defaults to the full recording
+			}
+			if n > 0 && ops > n {
+				return core.Scenario{}, fmt.Errorf("config: phase %d asks for %d ops but the trace holds %d", i, ops, n)
+			}
+			out.Phases = append(out.Phases, core.Phase{
+				Name:          p.Name,
+				Ops:           ops,
+				Source:        src,
+				RetrainBefore: p.RetrainBefore,
+			})
+			continue
+		}
 		access, err := p.Access.Build(base)
 		if err != nil {
 			return core.Scenario{}, fmt.Errorf("config: phase %d access: %w", i, err)

@@ -147,6 +147,14 @@ type Runner struct {
 	// middleware that needs the run's own clock (fault.Wrap). A wrapper
 	// returning its argument unchanged leaves the run untouched.
 	WrapSUT func(sut SUT, clock sim.Clock) SUT
+	// TraceSink, when set, records the exact operation/gap stream each
+	// phase executes (whatever its source — generator, pinned trace, or
+	// replay) into the writer, one BeginPhase per phase. The recorded
+	// trace replayed through workload.TraceReader sources reproduces the
+	// run byte-for-byte. The writer is not safe for concurrent runs: set
+	// it only on a runner executing a single Run (not RunAll with
+	// Parallel > 1).
+	TraceSink *workload.TraceWriter
 }
 
 // NewRunner returns a runner with the default cost model.
@@ -229,14 +237,24 @@ func (r *Runner) Run(s Scenario, sut SUT) (*Result, error) {
 			}
 		}
 
-		var gen *workload.Generator
-		var arrival workload.Arrival
-		if phase.Trace == nil {
-			gen = workload.NewGenerator(phase.Workload, s.Seed+uint64(pi)*7919+1)
-			arrival = phase.Arrival
-			if arrival == nil {
-				arrival = workload.ClosedLoop{}
-			}
+		// Select the phase's op source. A pinned trace replays verbatim;
+		// an explicit Source (trace replay, synthesizer, …) is reset to
+		// the phase's derived seed; otherwise the spec's generator and
+		// arrival process are wrapped in a GeneratorSource — drawing the
+		// byte-identical stream the pre-Source runner drew inline.
+		var src workload.Source
+		switch {
+		case phase.Trace != nil:
+			src = workload.NewTraceReader(phase.Name, phase.Trace.Ops, phase.Trace.Gaps)
+		case phase.Source != nil:
+			src = phase.Source
+			src.Reset(workload.PhaseSeed(s.Seed, pi))
+		default:
+			src = workload.NewSource(phase.Workload, phase.Arrival, workload.PhaseSeed(s.Seed, pi))
+		}
+		if r.TraceSink != nil {
+			r.TraceSink.BeginPhase(pi, phase.Name, phase.Ops)
+			src = workload.Record(src, r.TraceSink)
 		}
 
 		// Single-server queue in virtual time. Operations are generated
@@ -252,15 +270,9 @@ func (r *Runner) Run(s Scenario, sut SUT) (*Result, error) {
 			if rest := phase.Ops - i; bn > rest {
 				bn = rest
 			}
-			for j := 0; j < bn; j++ {
-				progress := float64(i+j) / float64(phase.Ops)
-				if phase.Trace != nil {
-					ops[j] = phase.Trace.Ops[i+j]
-					gaps[j] = phase.Trace.Gaps[i+j]
-				} else {
-					ops[j] = gen.Next(progress)
-					gaps[j] = arrival.NextGap(progress)
-				}
+			if n := src.Fill(ops[:bn], gaps[:bn], i, phase.Ops); n != bn {
+				return nil, fmt.Errorf("core: scenario %q phase %d: source %s exhausted at op %d of %d",
+					s.Name, pi, src.Name(), i+n, phase.Ops)
 			}
 			bsut.DoBatch(ops[:bn], outs[:bn])
 			for j := 0; j < bn; j++ {

@@ -28,6 +28,15 @@ type Phase struct {
 	// sources. Materialize fills it so compared SUTs receive identical
 	// streams.
 	Trace *PhaseTrace
+	// Source, when non-nil, supplies the phase's operation/gap stream
+	// directly — a workload.TraceReader replaying a recorded trace, a
+	// workload.Synthesizer generating fitted lookalike load, or any other
+	// Source implementation. It takes precedence over Workload/Arrival
+	// (which may be left zero); Trace, being already pinned, takes
+	// precedence over both. The runner Resets it with the phase's
+	// derived seed before drawing, so repeated runs of one scenario
+	// value replay the identical stream.
+	Source workload.Source
 }
 
 // PhaseTrace is a materialized phase input: the exact operations and
@@ -80,24 +89,28 @@ func (s Scenario) Materialize() Scenario {
 	copy(phases, s.Phases)
 	for pi := range phases {
 		p := &phases[pi]
-		if p.Trace != nil || p.Ops <= 0 || p.Workload.Access == nil {
+		if p.Trace != nil || p.Ops <= 0 {
 			continue
 		}
-		gen := workload.NewGenerator(p.Workload, s.Seed+uint64(pi)*7919+1)
-		arrival := p.Arrival
-		if arrival == nil {
-			arrival = workload.ClosedLoop{}
+		src := p.Source
+		if src == nil {
+			if p.Workload.Access == nil {
+				continue
+			}
+			src = workload.NewSource(p.Workload, p.Arrival, 0)
 		}
+		src.Reset(workload.PhaseSeed(s.Seed, pi))
 		tr := &PhaseTrace{
 			Ops:  make([]workload.Op, p.Ops),
 			Gaps: make([]int64, p.Ops),
 		}
-		for i := 0; i < p.Ops; i++ {
-			progress := float64(i) / float64(p.Ops)
-			tr.Ops[i] = gen.Next(progress)
-			tr.Gaps[i] = arrival.NextGap(progress)
-		}
+		n := src.Fill(tr.Ops, tr.Gaps, 0, p.Ops)
+		// A bounded source shorter than the phase surfaces as a trace
+		// length mismatch in Validate rather than silently padding.
+		tr.Ops = tr.Ops[:n]
+		tr.Gaps = tr.Gaps[:n]
 		p.Trace = tr
+		p.Source = nil
 	}
 	s.Phases = phases
 	return s
@@ -118,8 +131,8 @@ func (s Scenario) Validate() error {
 		if p.Ops <= 0 {
 			return fmt.Errorf("core: scenario %q phase %d has no ops", s.Name, i)
 		}
-		if p.Workload.Access == nil && p.Trace == nil {
-			return fmt.Errorf("core: scenario %q phase %d has no access distribution", s.Name, i)
+		if p.Workload.Access == nil && p.Trace == nil && p.Source == nil {
+			return fmt.Errorf("core: scenario %q phase %d has no access distribution, trace, or source", s.Name, i)
 		}
 		if p.Trace != nil && (len(p.Trace.Ops) != p.Ops || len(p.Trace.Gaps) != p.Ops) {
 			return fmt.Errorf("core: scenario %q phase %d trace length mismatch", s.Name, i)

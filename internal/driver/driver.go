@@ -46,6 +46,19 @@ type Options struct {
 	// share the batch's timestamps: each op in a batch reports the
 	// batch's wall latency, since the batch is the unit of service.
 	Batch int
+	// Sources, when set, supplies each worker's operation stream (trace
+	// replay, synthesized load, …) instead of a per-worker generator over
+	// the Spec; the Spec's access distribution may then be nil. A bounded
+	// source that drains before the worker's op budget simply ends that
+	// worker's stream early. Workers run in real time and ignore the
+	// source's inter-arrival gaps.
+	Sources func(worker int) workload.Source
+	// TraceSink, when set, records each worker's issued stream into the
+	// writer as one trace phase (phase index = worker id), written after
+	// the run completes so recording never perturbs the measured timing.
+	// Replay the recording by handing phase readers back per worker:
+	// Sources: func(w int) workload.Source { return trace.PhaseReader(w) }.
+	TraceSink *workload.TraceWriter
 }
 
 // Result carries the real-time measurements — the same metric families as
@@ -115,10 +128,12 @@ func (l *lockedDrift) FillAt(p float64, out []uint64) {
 }
 
 // workerOut is one worker's contribution: samples in completion order plus
-// its op-outcome tallies.
+// its op-outcome tallies (and, when recording, the issued stream).
 type workerOut struct {
 	samples  []sample
 	outcomes core.OpOutcomes
+	recOps   []workload.Op
+	recGaps  []int64
 }
 
 // Run drives the SUT with Options.Workers concurrent workers issuing
@@ -127,8 +142,8 @@ func Run(sut core.SUT, spec workload.Spec, initial distgen.Generator, initialSiz
 	if opts.Ops <= 0 {
 		return nil, fmt.Errorf("driver: Ops must be positive")
 	}
-	if spec.Access == nil {
-		return nil, fmt.Errorf("driver: workload needs an access distribution")
+	if spec.Access == nil && opts.Sources == nil {
+		return nil, fmt.Errorf("driver: workload needs an access distribution or Options.Sources")
 	}
 	workers := opts.Workers
 	if workers <= 0 {
@@ -150,10 +165,14 @@ func Run(sut core.SUT, spec workload.Spec, initial distgen.Generator, initialSiz
 
 	locked := &lockedSUT{batch: core.AsBatch(sut)}
 
-	// Workers share the spec's stateful key sources; guard them.
-	spec.Access = &lockedDrift{d: spec.Access}
-	if spec.InsertKeys != nil {
-		spec.InsertKeys = &lockedDrift{d: spec.InsertKeys}
+	// Workers share the spec's stateful key sources; guard them. (With
+	// explicit Sources the spec is not drawn from; each source belongs to
+	// one worker and needs no lock.)
+	if opts.Sources == nil {
+		spec.Access = &lockedDrift{d: spec.Access}
+		if spec.InsertKeys != nil {
+			spec.InsertKeys = &lockedDrift{d: spec.InsertKeys}
+		}
 	}
 
 	outs := make([]workerOut, workers)
@@ -170,29 +189,47 @@ func Run(sut core.SUT, spec workload.Spec, initial distgen.Generator, initialSiz
 		wg.Add(1)
 		go func(id, n int) {
 			defer wg.Done()
-			gen := workload.NewGenerator(spec, opts.Seed+uint64(id)*7919+1)
+			var src workload.Source
+			if opts.Sources != nil {
+				src = opts.Sources(id)
+			} else {
+				src = workload.NewSource(spec, nil, workload.PhaseSeed(opts.Seed, id))
+			}
 			out := workerOut{samples: make([]sample, 0, n)}
 			ops := make([]workload.Op, batch)
+			gaps := make([]int64, batch)
 			res := make([]core.OpResult, batch)
+			if opts.TraceSink != nil {
+				out.recOps = make([]workload.Op, 0, n)
+				out.recGaps = make([]int64, 0, n)
+			}
 			for i := 0; i < n; i += batch {
 				bn := batch
 				if rest := n - i; bn > rest {
 					bn = rest
 				}
-				for j := 0; j < bn; j++ {
-					ops[j] = gen.Next(float64(i+j) / float64(n))
+				fn := src.Fill(ops[:bn], gaps[:bn], i, n)
+				if fn == 0 {
+					break // bounded source drained
+				}
+				if opts.TraceSink != nil {
+					out.recOps = append(out.recOps, ops[:fn]...)
+					out.recGaps = append(out.recGaps, gaps[:fn]...)
 				}
 				t0 := time.Now()
-				locked.doBatch(ops[:bn], res[:bn])
+				locked.doBatch(ops[:fn], res[:fn])
 				t1 := time.Now()
 				s := sample{
 					done:    t1.Sub(start).Nanoseconds(),
 					latency: t1.Sub(t0).Nanoseconds(),
 				}
-				for j := 0; j < bn; j++ {
+				for j := 0; j < fn; j++ {
 					s.failed = res[j].Failed
 					out.samples = append(out.samples, s)
 					out.outcomes.Observe(ops[j], res[j])
+				}
+				if fn < bn {
+					break // bounded source drained mid-batch
 				}
 			}
 			outs[id] = out
@@ -203,6 +240,16 @@ func Run(sut core.SUT, spec workload.Spec, initial distgen.Generator, initialSiz
 	// histogram post-processing below are not part of the workload and
 	// must not deflate Throughput().
 	duration := time.Since(start).Nanoseconds()
+
+	// Recording is written only now, one phase per worker in worker
+	// order, so the trace layout is deterministic even though workers
+	// raced in real time.
+	if opts.TraceSink != nil {
+		for id, o := range outs {
+			opts.TraceSink.BeginPhase(id, fmt.Sprintf("worker-%d", id), len(o.recOps))
+			opts.TraceSink.Append(o.recOps, o.recGaps)
+		}
+	}
 
 	// Merge worker samples into completion order. Each worker's slice is
 	// already sorted by done (appended as its ops complete), so a k-way

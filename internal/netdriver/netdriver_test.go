@@ -1,6 +1,7 @@
 package netdriver
 
 import (
+	"bytes"
 	"errors"
 	"io"
 	"net"
@@ -72,19 +73,18 @@ func TestRemoteMatchesLocal(t *testing.T) {
 	c.Load(keys, vals)
 	local.Load(keys, vals)
 
-	gen := workload.NewGenerator(workload.Spec{
+	// Wire ops come off a workload.Source, as the driver issues them.
+	src := workload.NewSource(workload.Spec{
 		Mix:    workload.Balanced,
 		Access: distgen.Static{G: distgen.NewUniform(2, 0, 1<<30)},
-	}, 3)
-	gen2 := workload.NewGenerator(workload.Spec{
-		Mix:    workload.Balanced,
-		Access: distgen.Static{G: distgen.NewUniform(2, 0, 1<<30)},
-	}, 3)
-	for i := 0; i < 2000; i++ {
-		op := gen.Next(0.5)
-		op2 := gen2.Next(0.5)
+	}, nil, 3)
+	const total = 2000
+	ops := make([]workload.Op, total)
+	gaps := make([]int64, total)
+	src.Fill(ops, gaps, 0, total)
+	for i, op := range ops {
 		r1 := c.Do(op)
-		r2 := local.Do(op2)
+		r2 := local.Do(op)
 		if r1.Found != r2.Found || r1.Visited != r2.Visited {
 			t.Fatalf("op %d (%+v): remote (%+v) != local (%+v)", i, op, r1, r2)
 		}
@@ -132,6 +132,53 @@ func TestDriverOverNetwork(t *testing.T) {
 	}
 	if res.Latency.Quantile(0.5) <= 0 {
 		t.Fatal("no network latency measured")
+	}
+}
+
+func TestDriverReplayOverNetwork(t *testing.T) {
+	// Record a real-time run against a local SUT, then replay the trace
+	// through the driver against the remote SUT: every wire op is drawn
+	// from a workload.Source (one TraceReader per worker), and the remote
+	// run must issue exactly the recorded op count.
+	spec := workload.Spec{
+		Mix:    workload.ReadHeavy,
+		Access: distgen.Static{G: distgen.NewUniform(4, 0, 1<<30)},
+	}
+	var buf bytes.Buffer
+	w := workload.NewTraceWriter(&buf, "net-replay", 6)
+	if _, err := driver.Run(core.NewBTreeSUT(), spec, distgen.NewUniform(5, 0, 1<<30), 1000,
+		driver.Options{Workers: 2, Ops: 2000, Seed: 6, TraceSink: w}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := workload.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Phases) != 2 || tr.TotalOps() != 2000 {
+		t.Fatalf("recorded %d phases / %d ops", len(tr.Phases), tr.TotalOps())
+	}
+
+	srv := startServer(t)
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	res, err := driver.Run(c, workload.Spec{}, distgen.NewUniform(5, 0, 1<<30), 1000,
+		driver.Options{
+			Workers: 2,
+			Ops:     tr.TotalOps(),
+			Batch:   16,
+			Sources: func(wk int) workload.Source { return tr.PhaseReader(wk) },
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(res.Completed)+int(res.Outcomes.Failed) != tr.TotalOps() {
+		t.Fatalf("replayed %d+%d ops, want %d", res.Completed, res.Outcomes.Failed, tr.TotalOps())
 	}
 }
 

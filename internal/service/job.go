@@ -54,6 +54,11 @@ type JobRequest struct {
 	Seed *uint64 `json:"seed,omitempty"`
 	// TimeoutMs overrides the service's default job timeout.
 	TimeoutMs int64 `json:"timeoutMs,omitempty"`
+	// Record asks the service to record the run's exact op stream as a
+	// binary trace, retrievable from GET /v1/jobs/{id}/trace once the
+	// job is done. Requires Config.TraceDir; refused for sealed
+	// hold-outs (their workloads never leave the service).
+	Record bool `json:"record,omitempty"`
 }
 
 // Job is one submitted run and its outcome.
@@ -71,6 +76,9 @@ type Job struct {
 	// spec is the pre-built scenario for inline-spec jobs; named and
 	// hold-out jobs build fresh at run time.
 	spec *core.Scenario
+	// tracePath is where the run's recording landed (Record jobs only),
+	// set when the trace file is complete.
+	tracePath string
 	// cancel is closed by DELETE while the job is running.
 	cancel   chan struct{}
 	canceled bool

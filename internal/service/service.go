@@ -31,6 +31,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -42,6 +44,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/par"
 	"repro/internal/report"
+	"repro/internal/workload"
 )
 
 // Config wires a Service.
@@ -66,6 +69,11 @@ type Config struct {
 	JobTimeout time.Duration
 	// StorePath is the JSON-lines result store ("" = in-memory only).
 	StorePath string
+	// TraceDir, when set, enables trace-recording jobs: a submission
+	// with "record": true runs with a per-job TraceSink and serves the
+	// recorded binary trace from GET /v1/jobs/{id}/trace. "" disables
+	// recording.
+	TraceDir string
 	// LogWriter receives structured request logs (nil = disabled).
 	LogWriter io.Writer
 	// Fault, when set, is the chaos-drill hook: workers picking up a job
@@ -142,6 +150,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("GET /v1/results", s.handleResults)
 	mux.HandleFunc("GET /v1/store/ids", s.handleStoreIDs)
 	mux.HandleFunc("GET /v1/store/entries", s.handleStoreEntries)
@@ -274,6 +283,14 @@ func (s *Service) newJob(req JobRequest) (*Job, error) {
 	if req.TimeoutMs < 0 {
 		return nil, fmt.Errorf("service: negative timeoutMs")
 	}
+	if req.Record {
+		if s.cfg.TraceDir == "" {
+			return nil, fmt.Errorf("service: recording disabled (no trace directory configured)")
+		}
+		if req.Holdout != "" {
+			return nil, fmt.Errorf("service: hold-out workloads are sealed and cannot be recorded")
+		}
+	}
 
 	job := &Job{Req: req}
 	switch {
@@ -378,20 +395,53 @@ func (s *Service) execute(job *Job) {
 // run resolves the job's scenario and executes it.
 func (s *Service) run(job *Job) (*core.Result, error) {
 	sutFactory := s.cfg.SUTs[job.Req.SUT]
-	switch {
-	case job.spec != nil:
-		return s.runner.Run(*job.spec, sutFactory())
-	case job.Req.Holdout != "":
+	if job.Req.Holdout != "" {
 		// RunOnce consumes the (hold-out, SUT) attempt — spent even if
 		// the run later times out, exactly like a sealed submission.
+		// (Hold-outs are never recorded; newJob refuses the combination.)
 		return s.cfg.Holdouts.RunOnce(s.runner, job.Req.Holdout, sutFactory)
-	default:
-		sc, err := s.cfg.Scenarios[job.Req.Scenario]()
+	}
+	var sc core.Scenario
+	if job.spec != nil {
+		sc = *job.spec
+	} else {
+		built, err := s.cfg.Scenarios[job.Req.Scenario]()
 		if err != nil {
 			return nil, fmt.Errorf("service: building scenario %q: %w", job.Req.Scenario, err)
 		}
+		sc = built
+	}
+	if !job.Req.Record {
 		return s.runner.Run(sc, sutFactory())
 	}
+
+	// Recording run: a shallow per-job copy of the shared runner carries
+	// the job's own TraceSink (the runner's other fields are read-only
+	// configuration), so concurrent workers never share a writer.
+	path := filepath.Join(s.cfg.TraceDir, job.ID+".lstrace")
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("service: creating trace file: %w", err)
+	}
+	tw := workload.NewTraceWriter(f, sc.Name, sc.Seed)
+	runner := *s.runner
+	runner.TraceSink = tw
+	res, err := runner.Run(sc, sutFactory())
+	cErr := tw.Close()
+	if fErr := f.Close(); cErr == nil {
+		cErr = fErr
+	}
+	if err == nil {
+		err = cErr
+	}
+	if err != nil {
+		os.Remove(path)
+		return nil, err
+	}
+	s.mu.Lock()
+	job.tracePath = path
+	s.mu.Unlock()
+	return res, nil
 }
 
 // finish records a completed run: encodes the deterministic result JSON,
@@ -513,6 +563,37 @@ func (s *Service) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(data)
+}
+
+// handleJobTrace serves a recorded job's binary trace. The trace is only
+// available once the job is done (the writer is closed when the run
+// finishes, so a served file is always complete and crc-framed).
+func (s *Service) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	job, ok := s.jobs[r.PathValue("id")]
+	var state JobState
+	var path string
+	var recorded bool
+	if ok {
+		state = job.State
+		path = job.tracePath
+		recorded = job.Req.Record
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	if !recorded {
+		writeError(w, http.StatusConflict, "job %s did not record a trace", r.PathValue("id"))
+		return
+	}
+	if state != JobDone || path == "" {
+		writeError(w, http.StatusConflict, "job %s is %s, no trace", r.PathValue("id"), state)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	http.ServeFile(w, r, path)
 }
 
 func (s *Service) handleResults(w http.ResponseWriter, r *http.Request) {

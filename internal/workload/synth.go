@@ -1,0 +1,370 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// This file is the PBench half of the trace flywheel: fit compact
+// statistics from a recorded trace (per-key popularity as an exact top-K
+// head plus a bucketed tail, the inter-arrival distribution as log-scale
+// buckets, and the operation mix), then synthesize unbounded seeded
+// lookalike load from those statistics — optionally with a Redbench-style
+// controlled repetition rate layered on top.
+
+// KeyCount is one entry of the fitted popularity head.
+type KeyCount struct {
+	Key   uint64 `json:"key"`
+	Count int64  `json:"count"`
+}
+
+// TraceStats are the workload statistics fitted from a recorded trace —
+// everything the Synthesizer needs to generate lookalike load, small
+// enough to serialize and ship instead of the trace itself.
+type TraceStats struct {
+	// Ops is the number of operations fitted.
+	Ops int64 `json:"ops"`
+	// OpCounts is the operation mix, indexed by OpType.
+	OpCounts [numOpTypes]int64 `json:"opCounts"`
+
+	// TopKeys is the exact popularity head: the TopK most-accessed keys,
+	// descending by count (ties broken by key for determinism).
+	TopKeys []KeyCount `json:"topKeys,omitempty"`
+	// TailBuckets histograms the remaining accesses over equal-width key
+	// ranges spanning [KeyLo, KeyHi].
+	TailBuckets []int64 `json:"tailBuckets,omitempty"`
+	KeyLo       uint64  `json:"keyLo"`
+	KeyHi       uint64  `json:"keyHi"`
+	// UniqueKeys counts distinct keys seen (head + tail).
+	UniqueKeys int `json:"uniqueKeys"`
+
+	// GapBuckets histograms inter-arrival gaps in quarter-octave log2
+	// buckets: bucket 0 is gap<=0 (closed loop), bucket i>=1 covers
+	// [2^((i-1)/4), 2^(i/4)) ns.
+	GapBuckets []int64 `json:"gapBuckets,omitempty"`
+	// GapMeanNs is the exact mean inter-arrival gap of the fitted trace.
+	GapMeanNs float64 `json:"gapMeanNs"`
+
+	// ScanLimit is the most frequent scan limit (0 when the trace has no
+	// scans).
+	ScanLimit int `json:"scanLimit,omitempty"`
+}
+
+// FitOptions sizes the fitted model.
+type FitOptions struct {
+	// TopK is the exact popularity head size (default 64).
+	TopK int
+	// TailBuckets is the tail histogram resolution (default 256).
+	TailBuckets int
+}
+
+func (o FitOptions) withDefaults() FitOptions {
+	if o.TopK <= 0 {
+		o.TopK = 64
+	}
+	if o.TailBuckets <= 0 {
+		o.TailBuckets = 256
+	}
+	return o
+}
+
+// FitTrace fits statistics over every phase of a decoded trace.
+func FitTrace(t *Trace, opt FitOptions) *TraceStats {
+	var ops []Op
+	var gaps []int64
+	if len(t.Phases) == 1 {
+		ops, gaps = t.Phases[0].Ops, t.Phases[0].Gaps
+	} else {
+		for _, p := range t.Phases {
+			ops = append(ops, p.Ops...)
+			gaps = append(gaps, p.Gaps...)
+		}
+	}
+	return FitStream(ops, gaps, opt)
+}
+
+// FitStream fits statistics from a raw operation/gap stream.
+func FitStream(ops []Op, gaps []int64, opt FitOptions) *TraceStats {
+	opt = opt.withDefaults()
+	st := &TraceStats{Ops: int64(len(ops))}
+	if len(ops) == 0 {
+		return st
+	}
+
+	freq := make(map[uint64]int64, len(ops)/4)
+	scanLimits := make(map[int]int64)
+	st.KeyLo, st.KeyHi = ops[0].Key, ops[0].Key
+	for _, op := range ops {
+		st.OpCounts[op.Type]++
+		freq[op.Key]++
+		if op.Key < st.KeyLo {
+			st.KeyLo = op.Key
+		}
+		if op.Key > st.KeyHi {
+			st.KeyHi = op.Key
+		}
+		if op.Type == Scan {
+			scanLimits[op.ScanLimit]++
+		}
+	}
+	st.UniqueKeys = len(freq)
+
+	// Popularity head: exact top-K by count, deterministic order.
+	kcs := make([]KeyCount, 0, len(freq))
+	for k, c := range freq {
+		kcs = append(kcs, KeyCount{Key: k, Count: c})
+	}
+	sort.Slice(kcs, func(i, j int) bool {
+		if kcs[i].Count != kcs[j].Count {
+			return kcs[i].Count > kcs[j].Count
+		}
+		return kcs[i].Key < kcs[j].Key
+	})
+	head := opt.TopK
+	if head > len(kcs) {
+		head = len(kcs)
+	}
+	st.TopKeys = append([]KeyCount(nil), kcs[:head]...)
+
+	// Popularity tail: equal-width histogram over the observed key range.
+	if head < len(kcs) {
+		st.TailBuckets = make([]int64, opt.TailBuckets)
+		span := st.KeyHi - st.KeyLo
+		for _, kc := range kcs[head:] {
+			b := 0
+			if span > 0 {
+				b = int(float64(kc.Key-st.KeyLo) / float64(span) * float64(opt.TailBuckets))
+				if b >= opt.TailBuckets {
+					b = opt.TailBuckets - 1
+				}
+			}
+			st.TailBuckets[b] += kc.Count
+		}
+	}
+
+	// Inter-arrival distribution.
+	var sum float64
+	maxBucket := 0
+	counts := make(map[int]int64)
+	for _, g := range gaps {
+		b := gapBucket(g)
+		counts[b]++
+		if b > maxBucket {
+			maxBucket = b
+		}
+		if g > 0 {
+			sum += float64(g)
+		}
+	}
+	st.GapBuckets = make([]int64, maxBucket+1)
+	for b, c := range counts {
+		st.GapBuckets[b] = c
+	}
+	if len(gaps) > 0 {
+		st.GapMeanNs = sum / float64(len(gaps))
+	}
+
+	// Most frequent scan limit, smallest wins ties for determinism.
+	var best int64
+	for l, c := range scanLimits {
+		if c > best || (c == best && (st.ScanLimit == 0 || l < st.ScanLimit)) {
+			best, st.ScanLimit = c, l
+		}
+	}
+	return st
+}
+
+// gapBucket maps a gap to its quarter-octave log2 bucket.
+func gapBucket(g int64) int {
+	if g <= 0 {
+		return 0
+	}
+	return int(4*math.Log2(float64(g))) + 1
+}
+
+// gapBucketBounds returns bucket b's [lo, hi) range in ns (b >= 1).
+func gapBucketBounds(b int) (lo, hi float64) {
+	lo = math.Exp2(float64(b-1) / 4)
+	hi = math.Exp2(float64(b) / 4)
+	return lo, hi
+}
+
+// synthWindow is the recent-key window repetition redraws from.
+const synthWindow = 1024
+
+// Synthesizer generates unbounded lookalike load from fitted TraceStats:
+// keys from the top-K head + bucketed tail popularity model, op types
+// from the fitted mix, gaps from the fitted inter-arrival distribution —
+// plus a controlled repetition rate (Redbench's "support" scenarios):
+// with probability repeatFrac an access re-issues a key drawn from the
+// last synthWindow issued keys instead of a fresh popularity sample.
+//
+// The stream is a pure function of (stats, seed, repeatFrac): Reset(seed)
+// reproduces it exactly, and Fill allocates nothing.
+type Synthesizer struct {
+	st         *TraceStats
+	name       string
+	repeatFrac float64
+	rng        *stats.RNG
+
+	// Prefix-sum tables for weighted sampling.
+	opCum   [numOpTypes]int64
+	topCum  []int64
+	tailCum []int64
+	gapCum  []int64
+	keyTot  int64
+	gapTot  int64
+
+	window [synthWindow]uint64
+	wlen   int
+	wpos   int
+}
+
+// NewSynthesizer returns a synthesizer over fitted statistics, seeded
+// deterministically, repeating a fraction repeatFrac of key accesses from
+// the recent window. It panics on empty stats or repeatFrac outside [0,1).
+func NewSynthesizer(st *TraceStats, seed uint64, repeatFrac float64) *Synthesizer {
+	if st == nil || st.Ops == 0 {
+		panic("workload: NewSynthesizer needs non-empty TraceStats")
+	}
+	if repeatFrac < 0 || repeatFrac >= 1 {
+		panic("workload: repeatFrac must be in [0,1)")
+	}
+	s := &Synthesizer{
+		st:         st,
+		name:       fmt.Sprintf("synth(ops=%d,repeat=%.2f)", st.Ops, repeatFrac),
+		repeatFrac: repeatFrac,
+		rng:        stats.NewRNG(seed),
+	}
+	var c int64
+	for i, n := range st.OpCounts {
+		c += n
+		s.opCum[i] = c
+	}
+	for _, kc := range st.TopKeys {
+		s.keyTot += kc.Count
+		s.topCum = append(s.topCum, s.keyTot)
+	}
+	for _, n := range st.TailBuckets {
+		s.keyTot += n
+		s.tailCum = append(s.tailCum, s.keyTot)
+	}
+	for _, n := range st.GapBuckets {
+		s.gapTot += n
+		s.gapCum = append(s.gapCum, s.gapTot)
+	}
+	return s
+}
+
+// Name implements Source.
+func (s *Synthesizer) Name() string { return s.name }
+
+// Reset implements Source: the stream restarts from position 0 under the
+// new seed, with an empty repetition window.
+func (s *Synthesizer) Reset(seed uint64) {
+	s.rng = stats.NewRNG(seed)
+	s.wlen, s.wpos = 0, 0
+}
+
+// Fill implements Source. The synthesized stream is unbounded and
+// stationary (fitted statistics carry no phase-progress axis), so pos and
+// total only size the batch.
+func (s *Synthesizer) Fill(ops []Op, gaps []int64, pos, total int) int {
+	for j := range ops {
+		ops[j] = s.next()
+		gaps[j] = s.nextGap()
+	}
+	return len(ops)
+}
+
+// next synthesizes one operation.
+func (s *Synthesizer) next() Op {
+	var op Op
+	r := int64(s.rng.Uint64() % uint64(s.st.Ops))
+	op.Type = OpType(cumIndex(s.opCum[:], r))
+
+	if s.repeatFrac > 0 && s.wlen > 0 && s.rng.Float64() < s.repeatFrac {
+		op.Key = s.window[s.rng.Intn(s.wlen)]
+	} else {
+		op.Key = s.sampleKey()
+	}
+	s.window[s.wpos] = op.Key
+	s.wpos = (s.wpos + 1) % synthWindow
+	if s.wlen < synthWindow {
+		s.wlen++
+	}
+
+	switch op.Type {
+	case Put:
+		op.Value = s.rng.Uint64()
+	case Scan:
+		op.ScanLimit = s.st.ScanLimit
+		if op.ScanLimit <= 0 {
+			op.ScanLimit = 100
+		}
+	}
+	return op
+}
+
+// sampleKey draws from the fitted popularity model: the exact head with
+// its exact weights, then the tail histogram (bucket by weight, uniform
+// key within the bucket's range).
+func (s *Synthesizer) sampleKey() uint64 {
+	if s.keyTot == 0 {
+		return s.st.KeyLo
+	}
+	r := int64(s.rng.Uint64() % uint64(s.keyTot))
+	if i := cumIndex(s.topCum, r); i >= 0 {
+		return s.st.TopKeys[i].Key
+	}
+	b := cumIndex(s.tailCum, r)
+	nb := len(s.st.TailBuckets)
+	span := s.st.KeyHi - s.st.KeyLo
+	if span == 0 || nb == 0 {
+		return s.st.KeyLo
+	}
+	width := float64(span) / float64(nb)
+	lo := s.st.KeyLo + uint64(float64(b)*width)
+	w := uint64(width)
+	if w == 0 {
+		w = 1
+	}
+	return lo + s.rng.Uint64()%w
+}
+
+// nextGap draws from the fitted inter-arrival distribution: bucket by
+// weight, then uniform within the bucket's quarter-octave range.
+func (s *Synthesizer) nextGap() int64 {
+	if s.gapTot == 0 {
+		return 0
+	}
+	r := int64(s.rng.Uint64() % uint64(s.gapTot))
+	b := cumIndex(s.gapCum, r)
+	if b == 0 {
+		return 0
+	}
+	lo, hi := gapBucketBounds(b)
+	return int64(lo + s.rng.Float64()*(hi-lo))
+}
+
+// cumIndex returns the first index whose cumulative count exceeds r, or
+// -1 when r falls past the table (the caller's next table continues the
+// prefix sum). Plain binary search, no allocation.
+func cumIndex(cum []int64, r int64) int {
+	lo, hi := 0, len(cum)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if cum[mid] <= r {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(cum) {
+		return -1
+	}
+	return lo
+}

@@ -1,0 +1,193 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/distgen"
+)
+
+// drain pulls n ops/gaps from a source into fresh slices.
+func drain(src Source, n int) ([]Op, []int64) {
+	ops := make([]Op, n)
+	gaps := make([]int64, n)
+	const batch = 256
+	for i := 0; i < n; i += batch {
+		bn := batch
+		if rest := n - i; bn > rest {
+			bn = rest
+		}
+		src.Fill(ops[i:i+bn], gaps[i:i+bn], i, n)
+	}
+	return ops, gaps
+}
+
+// opMix returns per-type fractions.
+func opMix(ops []Op) [numOpTypes]float64 {
+	var m [numOpTypes]float64
+	for _, op := range ops {
+		m[op.Type]++
+	}
+	for i := range m {
+		m[i] /= float64(len(ops))
+	}
+	return m
+}
+
+// headMass returns the fraction of accesses landing on the given keys.
+func headMass(ops []Op, head []KeyCount) float64 {
+	in := make(map[uint64]bool, len(head))
+	for _, kc := range head {
+		in[kc.Key] = true
+	}
+	hits := 0
+	for _, op := range ops {
+		if in[op.Key] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(ops))
+}
+
+func meanGap(gaps []int64) float64 {
+	var s float64
+	for _, g := range gaps {
+		s += float64(g)
+	}
+	return s / float64(len(gaps))
+}
+
+// TestSynthesizerFidelity fits statistics from a recorded skewed stream
+// and requires the synthesized stream to match it on op mix, head-key
+// popularity mass, and mean inter-arrival gap — the PBench contract that
+// fitted load looks like the source load. All seeds fixed; bounds
+// deterministic.
+func TestSynthesizerFidelity(t *testing.T) {
+	const n = 60_000
+	spec := Spec{
+		Name:   "fit-src",
+		Mix:    Mix{GetFrac: 0.55, PutFrac: 0.3, DeleteFrac: 0.05, ScanFrac: 0.1, ScanLimit: 64},
+		Access: distgen.Static{G: distgen.NewZipfKeys(11, 1.2, 1<<18)},
+	}
+	srcOps, srcGaps := drain(NewSource(spec, NewPoisson(13, 250_000), 29), n)
+	st := FitStream(srcOps, srcGaps, FitOptions{})
+
+	synth := NewSynthesizer(st, 31, 0)
+	synOps, synGaps := drain(synth, n)
+
+	// Operation mix within 1.5 points per type.
+	want, got := opMix(srcOps), opMix(synOps)
+	for i := range want {
+		if d := math.Abs(want[i] - got[i]); d > 0.015 {
+			t.Errorf("op %s mix: source %.4f, synth %.4f (Δ %.4f)", OpType(i), want[i], got[i], d)
+		}
+	}
+
+	// Key-popularity skew: the fitted head must carry the same share of
+	// accesses in the synthesized stream (within 3 points). A zipf(1.2)
+	// head carries a large mass, so this genuinely tests the skew.
+	hm, sm := headMass(srcOps, st.TopKeys), headMass(synOps, st.TopKeys)
+	if hm < 0.2 {
+		t.Fatalf("source head mass %.3f too small; fixture lost its skew", hm)
+	}
+	if d := math.Abs(hm - sm); d > 0.03 {
+		t.Errorf("head mass: source %.4f, synth %.4f (Δ %.4f)", hm, sm, d)
+	}
+
+	// Mean inter-arrival within 15% (quarter-octave buckets bound the
+	// within-bucket error well under that).
+	mg, sg := meanGap(srcGaps), meanGap(synGaps)
+	if mg <= 0 {
+		t.Fatal("source mean gap is zero; fixture lost its arrival process")
+	}
+	if r := sg / mg; r < 0.85 || r > 1.15 {
+		t.Errorf("mean gap: source %.0fns, synth %.0fns (ratio %.3f)", mg, sg, r)
+	}
+
+	// Scans carry the fitted limit.
+	for _, op := range synOps {
+		if op.Type == Scan && op.ScanLimit != st.ScanLimit {
+			t.Fatalf("scan limit %d, want fitted %d", op.ScanLimit, st.ScanLimit)
+		}
+	}
+}
+
+// TestSynthesizerDeterminism: same (stats, seed) → identical stream;
+// Reset reproduces it; a different seed diverges.
+func TestSynthesizerDeterminism(t *testing.T) {
+	ops, gaps := drain(NewSource(mixedSpec(2), NewPoisson(3, 100_000), 5), 8000)
+	st := FitStream(ops, gaps, FitOptions{TopK: 32, TailBuckets: 64})
+
+	a1, g1 := drain(NewSynthesizer(st, 7, 0.3), 5000)
+	a2, g2 := drain(NewSynthesizer(st, 7, 0.3), 5000)
+	for i := range a1 {
+		if a1[i] != a2[i] || g1[i] != g2[i] {
+			t.Fatalf("same seed diverged at op %d", i)
+		}
+	}
+
+	s := NewSynthesizer(st, 7, 0.3)
+	drain(s, 1234)
+	s.Reset(7)
+	a3, g3 := drain(s, 5000)
+	for i := range a1 {
+		if a1[i] != a3[i] || g1[i] != g3[i] {
+			t.Fatalf("Reset did not reproduce the stream at op %d", i)
+		}
+	}
+
+	b, _ := drain(NewSynthesizer(st, 8, 0.3), 5000)
+	same := 0
+	for i := range a1 {
+		if a1[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a1) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+// TestSynthesizerRepetition checks the Redbench knob: with repeatFrac set,
+// the window-hit rate (key seen among the last synthWindow issued keys)
+// rises to roughly the requested rate over a low-repetition base workload.
+func TestSynthesizerRepetition(t *testing.T) {
+	// Uniform base load over a large keyspace: natural window hits ~0.
+	spec := Spec{
+		Name:   "uniform",
+		Mix:    Mix{GetFrac: 1},
+		Access: distgen.Static{G: distgen.NewUniform(3, 0, 1<<40)},
+	}
+	ops, gaps := drain(NewSource(spec, nil, 17), 30_000)
+	st := FitStream(ops, gaps, FitOptions{})
+
+	hitRate := func(ops []Op) float64 {
+		seen := make(map[uint64]int)
+		var ring [synthWindow]uint64
+		hits := 0
+		for i, op := range ops {
+			if seen[op.Key] > 0 {
+				hits++
+			}
+			if i >= synthWindow {
+				old := ring[i%synthWindow]
+				if seen[old]--; seen[old] == 0 {
+					delete(seen, old)
+				}
+			}
+			ring[i%synthWindow] = op.Key
+			seen[op.Key]++
+		}
+		return float64(hits) / float64(len(ops))
+	}
+
+	base, _ := drain(NewSynthesizer(st, 5, 0), 30_000)
+	rep, _ := drain(NewSynthesizer(st, 5, 0.6), 30_000)
+	br, rr := hitRate(base), hitRate(rep)
+	if br > 0.15 {
+		t.Fatalf("base window-hit rate %.3f too high; fixture not low-repetition", br)
+	}
+	if rr < 0.5 || rr > 0.7 {
+		t.Errorf("repeat window-hit rate %.3f, want ≈0.6", rr)
+	}
+}

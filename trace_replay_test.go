@@ -1,0 +1,95 @@
+package lsbench_test
+
+// Record → replay byte-identity: a run recorded through Runner.TraceSink,
+// replayed phase-by-phase through workload.TraceReader sources, must
+// reproduce the original run's result JSON byte-for-byte. This is the
+// contract that makes recorded traces a portable substitute for the
+// generator configuration that produced them.
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/distgen"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+func TestTraceReplayByteIdentity(t *testing.T) {
+	// Pin the initial database once so the recorded and replayed runs
+	// load identical data (generators are stateful).
+	keys := distgen.UniqueKeys(distgen.NewZipfKeys(43, 1.1, 1<<22), 10000)
+
+	for _, sf := range []struct {
+		name string
+		mk   func() core.SUT
+	}{
+		{"btree", core.NewBTreeSUT},
+		{"rmi", core.NewRMISUT},
+	} {
+		sf := sf
+		t.Run(sf.name, func(t *testing.T) {
+			s := batchGoldenScenario()
+			s.InitialKeys = keys
+
+			var buf bytes.Buffer
+			w := workload.NewTraceWriter(&buf, s.Name, s.Seed)
+			rec := core.NewRunner()
+			rec.TraceSink = w
+			base, err := rec.Run(s, sf.mk())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			golden, err := report.MarshalResult(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			tr, err := workload.ReadTrace(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tr.Truncated || len(tr.Phases) != len(s.Phases) || tr.TotalOps() != 8000 {
+				t.Fatalf("recording: truncated=%v phases=%d ops=%d", tr.Truncated, len(tr.Phases), tr.TotalOps())
+			}
+
+			// The replay scenario carries no workload spec or arrival
+			// process at all — only the trace.
+			replay := core.Scenario{
+				Name:        s.Name,
+				Seed:        s.Seed,
+				InitialKeys: keys,
+				TrainBefore: s.TrainBefore,
+				IntervalNs:  s.IntervalNs,
+			}
+			for pi, ph := range tr.Phases {
+				replay.Phases = append(replay.Phases, core.Phase{
+					Name:   ph.Name,
+					Ops:    len(ph.Ops),
+					Source: tr.PhaseReader(pi),
+				})
+			}
+
+			for _, batch := range []int{0, 64} {
+				r := core.NewRunner()
+				r.Batch = batch
+				res, err := r.Run(replay, sf.mk())
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := report.MarshalResult(res)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, golden) {
+					t.Fatalf("batch=%d: replayed result JSON diverges from recorded run\n--- replay ---\n%s\n--- recorded ---\n%s",
+						batch, got, golden)
+				}
+			}
+		})
+	}
+}
