@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race race test-cluster test-disk test-trace check cover bench bench-smoke bench-baseline bench-check bench-large figures examples clean
+.PHONY: all build vet test test-race race test-cluster test-disk test-trace test-drift check cover bench bench-smoke bench-baseline bench-check bench-large figures examples clean
 
 # bench-large dataset size. The committed default (1M) keeps CI minutes
 # sane; the real tier is LARGE_N=100000000 (see EXPERIMENTS.md for the
@@ -51,6 +51,18 @@ test-trace:
 	$(GO) test -race -count=1 -run 'TestTraceReplayByteIdentity' .
 	$(GO) test -race -count=1 -run 'TestJobTrace' ./internal/service/
 	$(GO) test -race -count=1 -run 'TestDriverReplayOverNetwork' ./internal/netdriver/
+
+# The drift tier: the driftctl controller (coupling, divergence
+# monotonicity, D=0 byte-identity), session arrivals + per-session SLA
+# accounting through the runner/collector/report stack, the config and
+# CLI drift/session clauses, and the Fig 1g sweep, under the race
+# detector — the session driver test races real workers over
+# session-paced sources.
+test-drift:
+	$(GO) test -race -count=1 ./internal/driftctl/
+	$(GO) test -race -count=1 -run 'Session' ./internal/workload/ ./internal/metrics/ ./internal/core/ ./internal/driver/
+	$(GO) test -race -count=1 -run 'TestControllerDriftClause|TestSessionArrivalClause|TestDriftSessionEndToEnd' ./internal/config/
+	$(GO) test -race -count=1 -run 'TestFig1g' ./internal/figures/
 
 # check is the full local CI gate: build, vet, tier-1 tests, race tier.
 check: build vet test test-race

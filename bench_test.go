@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/distgen"
+	"repro/internal/driftctl"
 	"repro/internal/figures"
 	"repro/internal/index/alex"
 	"repro/internal/index/btree"
@@ -599,6 +600,64 @@ func BenchmarkSynthFill(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		syn.Fill(bo, bg, i*batch, 1<<30)
 	}
+}
+
+// BenchmarkFig1gDriftSweep regenerates Figure 1g: the metric quadruple
+// vs drift intensity across the data/query/session panels, reporting the
+// endpoints' headline ratios.
+func BenchmarkFig1gDriftSweep(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := figures.Fig1g(benchScale(), 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cell := func(d float64, sut string) float64 {
+			for _, c := range res.Data {
+				if c.D == d && c.SUT == sut {
+					return c.Throughput
+				}
+			}
+			b.Fatalf("missing data cell D=%v %s", d, sut)
+			return 0
+		}
+		last := res.Intensities[len(res.Intensities)-1]
+		b.ReportMetric(cell(0, "alex")/cell(last, "alex"), "alex-slowdown")
+		b.ReportMetric(cell(0, "btree")/cell(last, "btree"), "btree-slowdown")
+	}
+}
+
+// BenchmarkDriftFill measures the drift controller's hot path: each
+// iteration fills one 64-key batch at mid-profile intensity, paying the
+// coupled base+target draws plus the selection variate per key. The
+// controller sits on the op-generation fast path, so it must stay at
+// 0 allocs/op (benchguard-gated).
+func BenchmarkDriftFill(b *testing.B) {
+	const batch = 64
+	ctrl := driftctl.NewCalibrated(9,
+		func(s uint64) distgen.Generator { return distgen.NewUniform(s, 0, 1<<40) },
+		func(s uint64) distgen.Generator { return distgen.NewZipfKeys(s, 1.1, 1<<22) },
+		driftctl.Knob{Factor: 0.5, Profile: driftctl.Ramp()}, 0)
+	out := make([]uint64, batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctrl.FillAt(0.5, out)
+	}
+}
+
+// BenchmarkSessionArrival measures the IDEBench-style session pacer: one
+// think/intra gap draw per iteration. It runs inside every op-dispatch
+// loop, so it must stay at 0 allocs/op (benchguard-gated).
+func BenchmarkSessionArrival(b *testing.B) {
+	sa := workload.NewSessionArrival(5, 2_000_000, 50_000, 3, 9)
+	var sink int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += sa.NextGap(0)
+	}
+	_ = sink
 }
 
 // --- Large-scale tier ------------------------------------------------------

@@ -21,7 +21,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/figures"
 	"repro/internal/metrics"
@@ -46,6 +48,7 @@ func panels() []panel {
 		{"fig1d", runFig1d},
 		{"fig1e", runFig1e},
 		{"fig1f", runFig1f},
+		{"fig1g", runFig1g},
 		{"lessons", runLessons},
 		{"optdrift", runOptDrift},
 		{"ablations", runAblations},
@@ -58,11 +61,13 @@ func main() {
 	var (
 		scaleName  = flag.String("scale", "small", "experiment scale: small or full")
 		seed       = flag.Uint64("seed", 42, "base random seed")
-		only       = flag.String("only", "", "comma-separated subset: fig1a,fig1aw,fig1b,fig1c,fig1d,fig1e,fig1f,lessons,optdrift,ablations,cache,sched")
+		only       = flag.String("only", "", "comma-separated subset: fig1a,fig1aw,fig1b,fig1c,fig1d,fig1e,fig1f,fig1g,lessons,optdrift,ablations,cache,sched")
 		csvDir     = flag.String("csv", "", "directory for CSV series")
 		parallelN  = flag.Int("parallel", 0, "max concurrent experiment runs (0 = GOMAXPROCS, 1 = serial); output is byte-identical at any setting")
 		batchN     = flag.Int("batch", 0, "op-dispatch batch size for the virtual runner (0/1 = per-op); output is byte-identical at any setting")
 		faults     = flag.String("faults", "", "fig1e fault plan override, e.g. 'slow@2ms-4ms:factor=8;crash@6ms' (default: derived from each SUT's baseline run)")
+		driftList  = flag.String("drift-factor", "", "fig1g drift-intensity grid as a comma list in [0,1], e.g. '0,0.5,1' (default: the built-in 5-point sweep)")
+		session    = flag.String("session", "", "fig1g session pacing override 'gap=<dur>[,budget=<dur>]', e.g. 'gap=200us,budget=34us'")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -86,6 +91,21 @@ func main() {
 	scale.Parallel = *parallelN
 	scale.Batch = *batchN
 	scale.Faults = *faults
+	if *driftList != "" {
+		grid, err := parseDriftList(*driftList)
+		if err != nil {
+			fatal(err)
+		}
+		scale.DriftFactors = grid
+	}
+	if *session != "" {
+		gap, budget, err := parseSessionPacing(*session)
+		if err != nil {
+			fatal(err)
+		}
+		scale.SessionGapNs = gap
+		scale.SessionBudgetNs = budget
+	}
 
 	want := map[string]bool{}
 	if *only == "" {
@@ -356,6 +376,67 @@ func runFig1f(w io.Writer, scale figures.Scale, seed uint64, csvDir string) erro
 		}
 	}
 	return nil
+}
+
+func runFig1g(w io.Writer, scale figures.Scale, seed uint64, csvDir string) error {
+	section(w, "Figure 1g — adaptability: the metric quadruple vs drift intensity D")
+	res, err := figures.Fig1g(scale, seed)
+	if err != nil {
+		return err
+	}
+	figures.RenderFig1g(w, res)
+	if csvDir != "" {
+		if err := writeCSV(filepath.Join(csvDir, "fig1g.csv"), func(f *os.File) {
+			figures.Fig1gCSV(f, res)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parseDriftList parses the -drift-factor comma list into the fig1g
+// intensity grid.
+func parseDriftList(s string) ([]float64, error) {
+	var grid []float64
+	for _, part := range strings.Split(s, ",") {
+		d, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("-drift-factor: %w", err)
+		}
+		if d < 0 || d > 1 {
+			return nil, fmt.Errorf("-drift-factor: %v outside [0,1]", d)
+		}
+		grid = append(grid, d)
+	}
+	return grid, nil
+}
+
+// parseSessionPacing parses the -session flag ("gap=<dur>[,budget=<dur>]")
+// into virtual-ns think gap and per-session budget.
+func parseSessionPacing(s string) (gapNs, budgetNs int64, err error) {
+	for _, part := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return 0, 0, fmt.Errorf("-session: %q is not key=value", part)
+		}
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			return 0, 0, fmt.Errorf("-session %s: %w", k, err)
+		}
+		switch k {
+		case "gap":
+			gapNs = d.Nanoseconds()
+		case "budget":
+			budgetNs = d.Nanoseconds()
+		default:
+			return 0, 0, fmt.Errorf("-session: unknown key %q (want gap, budget)", k)
+		}
+	}
+	if gapNs <= 0 {
+		return 0, 0, fmt.Errorf("-session: needs a positive gap=<dur>")
+	}
+	return gapNs, budgetNs, nil
 }
 
 func runLessons(w io.Writer, scale figures.Scale, seed uint64, _ string) error {

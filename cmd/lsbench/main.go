@@ -15,6 +15,10 @@
 //	lsbench ... -synth-from t.lstrace   # drive phases with load fitted
 //	                                    # from a recording (-repeat-frac
 //	                                    # adds temporal locality)
+//	lsbench ... -drift-factor 0.5       # override every controller drift
+//	                                    # clause's intensity D (sweep knob)
+//	lsbench ... -session gap=2ms,budget=50ms  # segment interactive sessions
+//	                                          # with a per-session budget
 //
 // With -remote the scenario runs in real time over TCP via the concurrent
 // driver; otherwise it runs on the deterministic virtual clock.
@@ -93,6 +97,8 @@ func main() {
 		replay     = flag.String("replay", "", "replay this recorded trace instead of the config's phases")
 		synthFrom  = flag.String("synth-from", "", "fit this recorded trace and drive the config's phases with synthesized lookalike load")
 		repeatFrac = flag.Float64("repeat-frac", 0, "with -synth-from: fraction of keys re-drawn from the recently issued window [0,1)")
+		driftKnob  = flag.Float64("drift-factor", -1, "override every controller drift clause's intensity D in [0,1] (-1 keeps the config's factors)")
+		session    = flag.String("session", "", "segment interactive sessions: gap=<dur>[,budget=<dur>] (e.g. gap=2ms,budget=50ms)")
 	)
 	flag.Parse()
 
@@ -109,7 +115,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lsbench: -config is required (see -example)")
 		os.Exit(2)
 	}
-	scenario, err := config.Load(*configPath)
+	if *driftKnob > 1 {
+		fatal(fmt.Errorf("-drift-factor %v outside [0,1]", *driftKnob))
+	}
+	opts := config.Options{DriftFactor: *driftKnob}
+	if *session != "" {
+		spec, err := parseSessionFlag(*session)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Session = spec
+	}
+	scenario, err := config.LoadWith(*configPath, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -172,6 +189,14 @@ func main() {
 		for pi := range scenario.Phases {
 			scenario.Phases[pi].Source = workload.NewSynthesizer(so.stats, workload.PhaseSeed(scenario.Seed, pi), so.repeatFrac)
 		}
+	}
+
+	// Head-to-head runs must replay identical inputs: stateful generators
+	// and arrival processes (drift controllers, session pacers, poisson)
+	// would otherwise advance between the per-SUT runs below. Pin the
+	// streams once; each run is then a pure replay.
+	if len(strings.Split(*suts, ",")) > 1 {
+		scenario = scenario.Materialize()
 	}
 
 	poolKnobs := pager.PoolKnobs{Pages: *poolPages, Policy: *poolPolicy}.Validate()
@@ -260,6 +285,33 @@ func printRobustness(results []*core.Result, injectors []*fault.Injector, plan f
 		}
 		fmt.Println()
 	}
+}
+
+// parseSessionFlag parses "gap=<dur>[,budget=<dur>]" into a session spec.
+func parseSessionFlag(s string) (*workload.SessionSpec, error) {
+	spec := &workload.SessionSpec{}
+	for _, part := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("-session: %q is not key=value", part)
+		}
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			return nil, fmt.Errorf("-session %s: %w", k, err)
+		}
+		switch k {
+		case "gap":
+			spec.GapNs = d.Nanoseconds()
+		case "budget":
+			spec.BudgetNs = d.Nanoseconds()
+		default:
+			return nil, fmt.Errorf("-session: unknown key %q (have gap, budget)", k)
+		}
+	}
+	if spec.GapNs <= 0 {
+		return nil, fmt.Errorf("-session requires a positive gap")
+	}
+	return spec, nil
 }
 
 // sourceOpts carries the trace/synth CLI selections into the run paths.
@@ -432,6 +484,25 @@ func printReport(results []*core.Result, csvDir string) {
 			adj := metrics.AdjustmentSpeed(r.PostChangeLatencies[0], r.SLANs, len(r.PostChangeLatencies[0]))
 			fmt.Printf("adjustment speed after first change: %s over-SLA\n", ns(adj))
 		}
+		fmt.Println()
+	}
+
+	// Interactive-session digest (IDEBench-style per-session SLA).
+	haveSessions := false
+	for _, r := range results {
+		if r.Sessions == nil {
+			continue
+		}
+		if !haveSessions {
+			fmt.Println("interactive sessions:")
+			haveSessions = true
+		}
+		ss := r.Sessions
+		fmt.Printf("  %-12s %d sessions, %.1f%% met budget %s (%d late ops), makespan p50=%s p99=%s\n",
+			r.SUT, ss.Sessions, ss.MetRate()*100, ns(ss.BudgetNs), ss.LateOps,
+			ns(ss.Makespan.Quantile(0.5)), ns(ss.Makespan.Quantile(0.99)))
+	}
+	if haveSessions {
 		fmt.Println()
 	}
 

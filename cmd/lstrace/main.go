@@ -15,6 +15,9 @@
 //	    [-seed s] [-repeat-frac f] [-topk n] [-buckets n]
 //	    fit the trace and write a statistically equivalent synthetic
 //	    trace, optionally with added temporal locality
+//	lstrace import -o run.lstrace [-name n] [-seed s] ycsb.log
+//	    convert a YCSB operation log (READ/INSERT/UPDATE/SCAN/DELETE
+//	    lines) into a single-phase .lstrace ("-" reads stdin)
 //
 // A recorded trace replayed through the runner (lsbench -replay)
 // reproduces the recorded run's result JSON byte-for-byte; a synthetic
@@ -46,13 +49,15 @@ func main() {
 		cmdFit(os.Args[2:])
 	case "synth":
 		cmdSynth(os.Args[2:])
+	case "import":
+		cmdImport(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: lstrace record|inspect|fit|synth [flags] (see go doc for details)")
+	fmt.Fprintln(os.Stderr, "usage: lstrace record|inspect|fit|synth|import [flags] (see go doc for details)")
 	os.Exit(2)
 }
 
@@ -218,4 +223,46 @@ func cmdSynth(args []string) {
 		fatal(cErr)
 	}
 	fmt.Printf("synthesized %d ops from %s (repeat-frac %.2f) to %s\n", *n, *from, *repeatFrac, *out)
+}
+
+func cmdImport(args []string) {
+	fs := flag.NewFlagSet("import", flag.ExitOnError)
+	out := fs.String("o", "", "trace file to write")
+	name := fs.String("name", "ycsb-import", "trace name recorded in the header")
+	seed := fs.Uint64("seed", 0, "seed recorded in the header (imports have none of their own)")
+	fs.Parse(args)
+	if *out == "" || fs.NArg() != 1 {
+		fatal(fmt.Errorf("import needs -o and exactly one YCSB log file (or -)"))
+	}
+	in := os.Stdin
+	if fs.Arg(0) != "-" {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	ops, err := workload.ImportYCSB(in)
+	if err != nil {
+		fatal(err)
+	}
+	gaps := make([]int64, len(ops))
+
+	tf, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	tw := workload.NewTraceWriter(tf, *name, *seed)
+	tw.BeginPhase(0, "import", len(ops))
+	tw.Append(ops, gaps)
+	cErr := tw.Close()
+	if fErr := tf.Close(); cErr == nil {
+		cErr = fErr
+	}
+	if cErr != nil {
+		os.Remove(*out)
+		fatal(cErr)
+	}
+	fmt.Printf("imported %d YCSB ops to %s\n", len(ops), *out)
 }

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/distgen"
+	"repro/internal/driftctl"
 	"repro/internal/workload"
 )
 
@@ -26,6 +27,16 @@ type Scenario struct {
 	IntervalNs  int64   `json:"intervalNs"`
 	SLANs       int64   `json:"slaNs"`
 	Phases      []Phase `json:"phases"`
+	// Session segments the run into interactive sessions with a
+	// per-session budget (see core.Scenario.Session).
+	Session *SessionSpec `json:"session,omitempty"`
+}
+
+// SessionSpec is the JSON form of workload.SessionSpec: gaps at or above
+// GapNs begin a new session; BudgetNs is the per-session SLA budget.
+type SessionSpec struct {
+	GapNs    int64 `json:"gapNs"`
+	BudgetNs int64 `json:"budgetNs,omitempty"`
 }
 
 // Phase is one workload segment.
@@ -247,8 +258,9 @@ func (g GenSpec) Build(base uint64) (distgen.Generator, error) {
 
 // DriftSpec names a drift process over generators.
 type DriftSpec struct {
-	Kind string `json:"kind"` // static | blend | abrupt | hotspot | growskew | schedule
-	// Gen backs "static"; Start/End back blend/abrupt.
+	Kind string `json:"kind"` // static | blend | abrupt | hotspot | growskew | schedule | controller
+	// Gen backs "static"; Start/End back blend/abrupt/controller (the
+	// controller's base and target distributions).
 	Gen      *GenSpec `json:"gen,omitempty"`
 	StartGen *GenSpec `json:"startGen,omitempty"`
 	EndGen   *GenSpec `json:"endGen,omitempty"`
@@ -263,10 +275,24 @@ type DriftSpec struct {
 	Universe uint64  `json:"universe,omitempty"`
 	// Schedule segments.
 	Segments []DriftSpec `json:"segments,omitempty"`
+	// Controller parameters: the drift-intensity factor D in [0,1], the
+	// intensity profile ("const", "ramp", "step@0.5", "sine@2"), and an
+	// optional KS-divergence normalization target making D comparable
+	// across base/target pairs.
+	Factor    float64 `json:"factor,omitempty"`
+	Profile   string  `json:"profile,omitempty"`
+	Normalize float64 `json:"normalize,omitempty"`
 }
 
 // Build constructs the drift process, deriving seeds from base.
 func (d DriftSpec) Build(base uint64) (distgen.Drift, error) {
+	return d.buildWith(base, -1)
+}
+
+// buildWith is Build with an optional drift-factor override: a value in
+// [0,1] replaces the factor of every "controller" clause — the -drift-factor
+// sweep knob. Negative leaves the document's factors.
+func (d DriftSpec) buildWith(base uint64, driftFactor float64) (distgen.Drift, error) {
 	switch d.Kind {
 	case "", "static":
 		if d.Gen == nil {
@@ -319,13 +345,46 @@ func (d DriftSpec) Build(base uint64) (distgen.Drift, error) {
 			u = 1 << 20
 		}
 		return distgen.NewGrowingSkew(base, mt, u), nil
+	case "controller":
+		if d.StartGen == nil || d.EndGen == nil {
+			return nil, fmt.Errorf("config: controller drift requires startGen (base) and endGen (target)")
+		}
+		factor := d.Factor
+		if driftFactor >= 0 {
+			factor = driftFactor
+		}
+		if factor < 0 || factor > 1 {
+			return nil, fmt.Errorf("config: controller factor %v outside [0,1]", factor)
+		}
+		prof, err := driftctl.ParseProfile(d.Profile)
+		if err != nil {
+			return nil, err
+		}
+		// Validate both specs once so the seed-parameterized factories
+		// below cannot fail (build errors depend only on the spec fields).
+		if _, err := d.StartGen.Build(base + 1); err != nil {
+			return nil, err
+		}
+		if _, err := d.EndGen.Build(base + 2); err != nil {
+			return nil, err
+		}
+		baseF := func(seed uint64) distgen.Generator {
+			g, _ := d.StartGen.Build(seed)
+			return g
+		}
+		targetF := func(seed uint64) distgen.Generator {
+			g, _ := d.EndGen.Build(seed)
+			return g
+		}
+		knob := driftctl.Knob{Factor: factor, Profile: prof}
+		return driftctl.NewCalibrated(base, baseF, targetF, knob, d.Normalize), nil
 	case "schedule":
 		if len(d.Segments) == 0 {
 			return nil, fmt.Errorf("config: schedule requires segments")
 		}
 		segs := make([]distgen.Drift, 0, len(d.Segments))
 		for i, s := range d.Segments {
-			dr, err := s.Build(base + uint64(i)*101)
+			dr, err := s.buildWith(base+uint64(i)*101, driftFactor)
 			if err != nil {
 				return nil, err
 			}
@@ -339,13 +398,18 @@ func (d DriftSpec) Build(base uint64) (distgen.Drift, error) {
 
 // ArrivalSpec names an arrival process.
 type ArrivalSpec struct {
-	Kind      string  `json:"kind"` // closed | poisson | diurnal | bursty
+	Kind      string  `json:"kind"` // closed | poisson | diurnal | bursty | session
 	Rate      float64 `json:"rate,omitempty"`
 	Amplitude float64 `json:"amplitude,omitempty"`
 	Cycles    float64 `json:"cycles,omitempty"`
 	Factor    float64 `json:"factor,omitempty"`
 	Fraction  float64 `json:"fraction,omitempty"`
 	Periods   float64 `json:"periods,omitempty"`
+	// Session parameters (workload.SessionArrival).
+	ThinkNs    int64 `json:"thinkNs,omitempty"`
+	IntraGapNs int64 `json:"intraGapNs,omitempty"`
+	MinOps     int   `json:"minOps,omitempty"`
+	MaxOps     int   `json:"maxOps,omitempty"`
 }
 
 // Build constructs the arrival process.
@@ -385,13 +449,49 @@ func (a ArrivalSpec) Build(base uint64) (workload.Arrival, error) {
 			p = 4
 		}
 		return workload.NewBursty(base, a.Rate, f, fr, p), nil
+	case "session":
+		think := a.ThinkNs
+		if think <= 0 {
+			think = 2_000_000 // 2ms virtual think time
+		}
+		intra := a.IntraGapNs
+		if intra <= 0 || intra >= think {
+			intra = think / 40
+		}
+		lo, hi := a.MinOps, a.MaxOps
+		if lo <= 0 {
+			lo = 3
+		}
+		if hi < lo {
+			hi = lo + 6
+		}
+		return workload.NewSessionArrival(base, think, intra, lo, hi), nil
 	default:
 		return nil, fmt.Errorf("config: unknown arrival kind %q", a.Kind)
 	}
 }
 
+// Options are CLI-level overrides applied while building a scenario.
+type Options struct {
+	// DriftFactor, when in [0,1], overrides the factor of every
+	// "controller" drift clause — the -drift-factor sweep knob. Negative
+	// (the zero value via NoOverrides) keeps the document's factors.
+	DriftFactor float64
+	// Session, when non-nil, replaces the document's session clause.
+	Session *workload.SessionSpec
+}
+
+// NoOverrides is the identity Options value: Build(doc) == BuildWith(doc, NoOverrides).
+func NoOverrides() Options { return Options{DriftFactor: -1} }
+
 // Build converts the document into a runnable scenario.
 func (s Scenario) Build() (core.Scenario, error) {
+	return s.BuildWith(NoOverrides())
+}
+
+// BuildWith converts the document into a runnable scenario, applying the
+// given CLI overrides.
+func (s Scenario) BuildWith(opts Options) (core.Scenario, error) {
 	out := core.Scenario{
 		Name:        s.Name,
 		Seed:        s.Seed,
@@ -399,6 +499,12 @@ func (s Scenario) Build() (core.Scenario, error) {
 		TrainBefore: s.TrainBefore,
 		IntervalNs:  s.IntervalNs,
 		SLANs:       s.SLANs,
+	}
+	if s.Session != nil {
+		out.Session = &workload.SessionSpec{GapNs: s.Session.GapNs, BudgetNs: s.Session.BudgetNs}
+	}
+	if opts.Session != nil {
+		out.Session = opts.Session
 	}
 	gen, err := s.InitialData.Build(s.Seed + 1)
 	if err != nil {
@@ -428,7 +534,7 @@ func (s Scenario) Build() (core.Scenario, error) {
 			})
 			continue
 		}
-		access, err := p.Access.Build(base)
+		access, err := p.Access.buildWith(base, opts.DriftFactor)
 		if err != nil {
 			return core.Scenario{}, fmt.Errorf("config: phase %d access: %w", i, err)
 		}
@@ -438,7 +544,7 @@ func (s Scenario) Build() (core.Scenario, error) {
 			Access: access,
 		}
 		if p.InsertKeys != nil {
-			ins, err := p.InsertKeys.Build(base + 13)
+			ins, err := p.InsertKeys.buildWith(base+13, opts.DriftFactor)
 			if err != nil {
 				return core.Scenario{}, fmt.Errorf("config: phase %d insertKeys: %w", i, err)
 			}
@@ -471,18 +577,28 @@ func (s Scenario) Build() (core.Scenario, error) {
 
 // Load reads and builds a scenario from a JSON file.
 func Load(path string) (core.Scenario, error) {
+	return LoadWith(path, NoOverrides())
+}
+
+// LoadWith reads and builds a scenario from a JSON file with overrides.
+func LoadWith(path string, opts Options) (core.Scenario, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return core.Scenario{}, fmt.Errorf("config: %w", err)
 	}
-	return Parse(data)
+	return ParseWith(data, opts)
 }
 
 // Parse builds a scenario from JSON bytes.
 func Parse(data []byte) (core.Scenario, error) {
+	return ParseWith(data, NoOverrides())
+}
+
+// ParseWith builds a scenario from JSON bytes with overrides.
+func ParseWith(data []byte, opts Options) (core.Scenario, error) {
 	var s Scenario
 	if err := json.Unmarshal(data, &s); err != nil {
 		return core.Scenario{}, fmt.Errorf("config: parsing: %w", err)
 	}
-	return s.Build()
+	return s.BuildWith(opts)
 }

@@ -197,10 +197,14 @@ func (r *Runner) Run(s Scenario, sut SUT) (*Result, error) {
 	// scenario, else calibrated deterministically from the first phase's
 	// first (up to) 1000 latencies — the paper's rule of deriving the
 	// threshold from baseline latency statistics on the same workload.
-	col := metrics.NewCollector(metrics.CollectorConfig{
+	colCfg := metrics.CollectorConfig{
 		IntervalNs: s.interval(),
 		SLANs:      s.SLANs,
-	})
+	}
+	if s.Session != nil {
+		colCfg.SessionBudgetNs = s.Session.BudgetNs
+	}
+	col := metrics.NewCollector(colCfg)
 
 	batch := r.Batch
 	if batch < 1 {
@@ -216,6 +220,10 @@ func (r *Runner) Run(s Scenario, sut SUT) (*Result, error) {
 	if ol, ok := sut.(OnlineLearner); ok {
 		onlineBase = ol.OnlineTrainWork()
 	}
+
+	// Session segmentation state: the very first op always opens a
+	// session; afterwards a gap at or above the spec's boundary does.
+	sessionStarted := false
 
 	for pi, phase := range s.Phases {
 		pres := PhaseResult{Name: phase.Name, StartNs: clock.Now(), Latency: metrics.NewHistogram()}
@@ -284,6 +292,10 @@ func (r *Runner) Run(s Scenario, sut SUT) (*Result, error) {
 					arrive = prevArrival + gaps[j]
 				}
 				prevArrival = arrive
+				if s.Session != nil && (!sessionStarted || gaps[j] >= s.Session.GapNs) {
+					col.BeginSession(arrive)
+					sessionStarted = true
+				}
 
 				start := arrive
 				if serverFree > start {

@@ -73,6 +73,12 @@ type Scenario struct {
 	// SLANs fixes the SLA threshold; 0 means calibrate from the
 	// baseline run (paper's rule) or fall back to 20x median.
 	SLANs int64
+	// Session, when non-nil, segments the operation stream into
+	// interactive sessions (a gap >= Session.GapNs begins a new one) and
+	// applies the per-session budget — the IDEBench-style dimension for
+	// workloads paced by workload.SessionArrival. Segmentation reads the
+	// gap stream itself, so it survives Materialize and trace replay.
+	Session *workload.SessionSpec
 }
 
 // Materialize pins every stateful input of the scenario: the initial keys
@@ -126,6 +132,9 @@ func (s Scenario) Validate() error {
 	}
 	if len(s.Phases) == 0 {
 		return fmt.Errorf("core: scenario %q has no phases", s.Name)
+	}
+	if s.Session != nil && s.Session.GapNs <= 0 {
+		return fmt.Errorf("core: scenario %q session spec needs a positive boundary gap", s.Name)
 	}
 	for i, p := range s.Phases {
 		if p.Ops <= 0 {

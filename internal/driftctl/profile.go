@@ -1,0 +1,117 @@
+package driftctl
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Profile shapes how drift intensity unfolds across a phase: it maps phase
+// progress in [0, 1] to a weight in [0, 1] that multiplies the knob's
+// factor. The zero value is the constant profile (full intensity from the
+// first operation), Ramp grows linearly, Step switches abruptly, and Sine
+// oscillates — the same transition shapes distgen's ad-hoc drifts hardcode,
+// factored out so one schedule can drive every drifting axis.
+type Profile struct {
+	name string
+	fn   func(p float64) float64
+}
+
+// Name identifies the profile in reports and drift names.
+func (pr Profile) Name() string {
+	if pr.name == "" {
+		return "const"
+	}
+	return pr.name
+}
+
+// At returns the profile weight at the given progress, clamped to [0, 1].
+func (pr Profile) At(p float64) float64 {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	if pr.fn == nil {
+		return 1
+	}
+	w := pr.fn(p)
+	if w < 0 {
+		return 0
+	}
+	if w > 1 {
+		return 1
+	}
+	return w
+}
+
+// Constant applies the knob's full factor throughout the phase.
+func Constant() Profile { return Profile{} }
+
+// Ramp grows the weight linearly from 0 at the start of the phase to 1 at
+// the end — the paper's "slow transition".
+func Ramp() Profile {
+	return Profile{name: "ramp", fn: func(p float64) float64 { return p }}
+}
+
+// Step switches the weight from 0 to 1 when progress crosses at — the
+// "abrupt transition".
+func Step(at float64) Profile {
+	if at <= 0 || at >= 1 {
+		at = 0.5
+	}
+	return Profile{
+		name: fmt.Sprintf("step@%.2f", at),
+		fn: func(p float64) float64 {
+			if p < at {
+				return 0
+			}
+			return 1
+		},
+	}
+}
+
+// Sine oscillates the weight through the given number of full cycles — the
+// diurnal shape, peaking mid-cycle.
+func Sine(cycles float64) Profile {
+	if cycles <= 0 {
+		cycles = 1
+	}
+	return Profile{
+		name: fmt.Sprintf("sine@%.1f", cycles),
+		fn: func(p float64) float64 {
+			return 0.5 * (1 - math.Cos(2*math.Pi*cycles*p))
+		},
+	}
+}
+
+// ParseProfile resolves a profile by its config/CLI spelling: "const" (or
+// empty), "ramp", "step" / "step@0.3", "sine" / "sine@2".
+func ParseProfile(s string) (Profile, error) {
+	name, arg := s, ""
+	if i := strings.IndexByte(s, '@'); i >= 0 {
+		name, arg = s[:i], s[i+1:]
+	}
+	var v float64
+	if arg != "" {
+		var err error
+		v, err = strconv.ParseFloat(arg, 64)
+		if err != nil {
+			return Profile{}, fmt.Errorf("driftctl: profile %q: bad parameter %q", s, arg)
+		}
+	}
+	switch name {
+	case "", "const":
+		return Constant(), nil
+	case "ramp":
+		return Ramp(), nil
+	case "step":
+		return Step(v), nil
+	case "sine":
+		return Sine(v), nil
+	default:
+		return Profile{}, fmt.Errorf("driftctl: unknown profile %q", s)
+	}
+}

@@ -28,6 +28,7 @@ type Collector struct {
 	failed    int64
 	fails     *FailSeries
 	pending   []pendingSample
+	session   *SessionTracker
 }
 
 // pendingSample is a completion parked while the SLA is uncalibrated.
@@ -48,6 +49,11 @@ type CollectorConfig struct {
 	// (defaults 0.5 and 20: 20x the median).
 	CalibrateQuantile float64
 	CalibrateHeadroom float64
+	// SessionBudgetNs is the per-session SLA budget applied when the
+	// engine marks session boundaries via BeginSession (0: sessions are
+	// counted without a budget). It has no effect until BeginSession is
+	// called, so non-session runs snapshot exactly as before.
+	SessionBudgetNs int64
 }
 
 // NewCollector returns a collector for the given configuration.
@@ -73,11 +79,25 @@ func NewCollector(cfg CollectorConfig) *Collector {
 	}
 }
 
+// BeginSession marks a session boundary: the next completions belong to a
+// session whose first operation arrived at the given time. The tracker is
+// created lazily, so collectors on non-session workloads carry none and
+// their snapshots are unchanged.
+func (c *Collector) BeginSession(arrive int64) {
+	if c.session == nil {
+		c.session = NewSessionTracker(c.cfg.SessionBudgetNs)
+	}
+	c.session.Begin(arrive)
+}
+
 // Record accounts one completed operation at time done (ns since run
 // start) with the given latency. Completions must arrive in non-decreasing
 // done order (the CumCurve contract).
 func (c *Collector) Record(done, latency int64) {
 	c.completed++
+	if c.session != nil {
+		c.session.Observe(done)
+	}
 	c.cum.Add(done, c.completed)
 	c.timeline.Record(done, latency)
 	c.latency.Record(latency)
@@ -158,7 +178,7 @@ func (c *Collector) Completed() int64 { return c.completed }
 // snapshot once, when the run is over.
 func (c *Collector) Snapshot() Snapshot {
 	c.Calibrate()
-	return Snapshot{
+	s := Snapshot{
 		Timeline:   c.timeline,
 		Cumulative: c.cum,
 		Bands:      c.bands,
@@ -168,6 +188,10 @@ func (c *Collector) Snapshot() Snapshot {
 		Failed:     c.failed,
 		Fails:      c.fails,
 	}
+	if c.session != nil {
+		s.Sessions = c.session.Stats()
+	}
+	return s
 }
 
 // Snapshot is the finalized measurement quadruple plus the SLA threshold
@@ -192,4 +216,7 @@ type Snapshot struct {
 	Failed int64
 	// Fails is the per-interval failure series (nil when no op failed).
 	Fails *FailSeries
+	// Sessions is the per-session SLA digest (nil unless the engine
+	// marked session boundaries via BeginSession).
+	Sessions *SessionStats
 }

@@ -1,0 +1,104 @@
+package metrics
+
+// SessionTracker aggregates per-session SLA accounting for interactive
+// workloads (workload.SessionArrival): the engine calls Begin at each
+// session boundary and the collector feeds it every completion. A session's
+// makespan is the span from its first arrival to its last completion; it
+// meets its budget when every operation completes within BudgetNs of the
+// session start. Like the rest of the pipeline it is single-threaded:
+// engines with concurrent workers merge to completion order first.
+type SessionTracker struct {
+	budgetNs int64
+	sessions int64
+	met      int64
+	lateOps  int64
+	makespan *Histogram
+
+	open            bool
+	start, lastDone int64
+	late            bool
+}
+
+// NewSessionTracker returns a tracker with the given per-session budget
+// (0 disables budget accounting).
+func NewSessionTracker(budgetNs int64) *SessionTracker {
+	return &SessionTracker{budgetNs: budgetNs, makespan: NewHistogram()}
+}
+
+// Begin opens a new session whose first operation arrived at the given
+// time, closing the previous one.
+func (t *SessionTracker) Begin(arrive int64) {
+	t.finish()
+	t.open = true
+	t.start = arrive
+	t.lastDone = arrive
+	t.late = false
+}
+
+// Observe accounts one operation completion at the given time. Completions
+// before the first Begin are ignored.
+func (t *SessionTracker) Observe(done int64) {
+	if !t.open {
+		return
+	}
+	if done > t.lastDone {
+		t.lastDone = done
+	}
+	if t.budgetNs > 0 && done > t.start+t.budgetNs {
+		t.lateOps++
+		t.late = true
+	}
+}
+
+// finish closes the open session into the aggregates.
+func (t *SessionTracker) finish() {
+	if !t.open {
+		return
+	}
+	t.open = false
+	t.sessions++
+	t.makespan.Record(t.lastDone - t.start)
+	if !t.late {
+		t.met++
+	}
+}
+
+// Stats closes any open session and returns the digest. Idempotent: a
+// second call without intervening Begin returns the same totals.
+func (t *SessionTracker) Stats() *SessionStats {
+	t.finish()
+	return &SessionStats{
+		BudgetNs:  t.budgetNs,
+		Sessions:  t.sessions,
+		MetBudget: t.met,
+		LateOps:   t.lateOps,
+		Makespan:  t.makespan,
+	}
+}
+
+// SessionStats is the finalized per-session digest: how many interactive
+// sessions ran, how many finished every operation within the budget, how
+// many individual operations landed past it, and the session-makespan
+// distribution.
+type SessionStats struct {
+	// BudgetNs is the per-session budget applied (0 when only counting).
+	BudgetNs int64
+	// Sessions is the number of sessions observed.
+	Sessions int64
+	// MetBudget is how many sessions completed every op within BudgetNs
+	// of the session start (all sessions when BudgetNs is 0).
+	MetBudget int64
+	// LateOps counts individual operations completing past the budget.
+	LateOps int64
+	// Makespan is the distribution of session spans (first arrival to
+	// last completion).
+	Makespan *Histogram
+}
+
+// MetRate returns the fraction of sessions that met their budget.
+func (s *SessionStats) MetRate() float64 {
+	if s.Sessions == 0 {
+		return 0
+	}
+	return float64(s.MetBudget) / float64(s.Sessions)
+}

@@ -1,0 +1,73 @@
+package metrics
+
+import "testing"
+
+func TestSessionTracker(t *testing.T) {
+	tr := NewSessionTracker(100)
+	// Session 1: two ops, both inside the budget.
+	tr.Begin(0)
+	tr.Observe(40)
+	tr.Observe(90)
+	// Session 2: second op lands past start+budget.
+	tr.Begin(1000)
+	tr.Observe(1050)
+	tr.Observe(1200)
+	// Session 3: single op on the boundary (done == start+budget is met).
+	tr.Begin(2000)
+	tr.Observe(2100)
+	st := tr.Stats()
+	if st.Sessions != 3 || st.MetBudget != 2 || st.LateOps != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if got := st.MetRate(); got < 0.66 || got > 0.67 {
+		t.Fatalf("MetRate = %v", got)
+	}
+	if st.Makespan.Count() != 3 || st.Makespan.Max() < 200 {
+		t.Fatalf("makespan histogram: count=%d max=%d", st.Makespan.Count(), st.Makespan.Max())
+	}
+	// Stats is idempotent: closing again must not double-count.
+	st2 := tr.Stats()
+	if st2.Sessions != 3 || st2.MetBudget != 2 {
+		t.Fatalf("second Stats = %+v", st2)
+	}
+}
+
+func TestSessionTrackerNoBudget(t *testing.T) {
+	tr := NewSessionTracker(0)
+	tr.Observe(5) // before any Begin: ignored
+	tr.Begin(10)
+	tr.Observe(500_000)
+	tr.Begin(600_000)
+	tr.Observe(700_000)
+	st := tr.Stats()
+	if st.Sessions != 2 || st.MetBudget != 2 || st.LateOps != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCollectorSessions(t *testing.T) {
+	c := NewCollector(CollectorConfig{IntervalNs: 1000, SLANs: 50, SessionBudgetNs: 100})
+	c.BeginSession(0)
+	c.Record(40, 40)
+	c.Record(150, 30) // past budget
+	c.BeginSession(500)
+	c.Record(560, 20)
+	s := c.Snapshot()
+	if s.Sessions == nil {
+		t.Fatal("snapshot has no session stats")
+	}
+	if s.Sessions.Sessions != 2 || s.Sessions.MetBudget != 1 || s.Sessions.LateOps != 1 {
+		t.Fatalf("sessions = %+v", s.Sessions)
+	}
+	if s.Sessions.BudgetNs != 100 {
+		t.Fatalf("budget = %d", s.Sessions.BudgetNs)
+	}
+}
+
+func TestCollectorWithoutSessionsUnchanged(t *testing.T) {
+	c := NewCollector(CollectorConfig{IntervalNs: 1000, SLANs: 50, SessionBudgetNs: 100})
+	c.Record(10, 10)
+	if s := c.Snapshot(); s.Sessions != nil {
+		t.Fatal("non-session collector grew session stats")
+	}
+}

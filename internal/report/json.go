@@ -86,6 +86,23 @@ type ResultView struct {
 	// Storage summarizes buffer-pool work for disk-backed SUTs; omitted
 	// for in-memory SUTs so pre-storage goldens are unchanged.
 	Storage *StorageView `json:"storage,omitempty"`
+
+	// Sessions digests per-session SLA accounting for interactive
+	// workloads; omitted for non-session runs so earlier goldens are
+	// unchanged.
+	Sessions *SessionView `json:"sessions,omitempty"`
+}
+
+// SessionView is the JSON form of the per-session SLA digest.
+type SessionView struct {
+	BudgetNs      int64   `json:"budgetNs"`
+	Sessions      int64   `json:"sessions"`
+	MetBudget     int64   `json:"metBudget"`
+	MetRate       float64 `json:"metRate"`
+	LateOps       int64   `json:"lateOps,omitempty"`
+	MakespanP50Ns int64   `json:"makespanP50Ns"`
+	MakespanP99Ns int64   `json:"makespanP99Ns"`
+	MakespanMaxNs int64   `json:"makespanMaxNs"`
 }
 
 // StorageView is the JSON form of a disk-backed SUT's pool summary.
@@ -117,6 +134,18 @@ func viewFromSnapshot(s metrics.Snapshot) ResultView {
 	}
 	if s.Cumulative != nil {
 		v.AreaVsIdeal = s.Cumulative.AreaVsIdeal()
+	}
+	if s.Sessions != nil {
+		v.Sessions = &SessionView{
+			BudgetNs:      s.Sessions.BudgetNs,
+			Sessions:      s.Sessions.Sessions,
+			MetBudget:     s.Sessions.MetBudget,
+			MetRate:       s.Sessions.MetRate(),
+			LateOps:       s.Sessions.LateOps,
+			MakespanP50Ns: s.Sessions.Makespan.Quantile(0.5),
+			MakespanP99Ns: s.Sessions.Makespan.Quantile(0.99),
+			MakespanMaxNs: s.Sessions.Makespan.Max(),
+		}
 	}
 	return v
 }
